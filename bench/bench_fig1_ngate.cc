@@ -1,0 +1,199 @@
+// E1 — Figure 1: the N gate (quantum-to-classical controlled-NOT).
+//
+// Reproduced claims:
+//  (a) the copy is correct on codewords (and realizes Eq. (1) coherently);
+//  (b) NO single fault anywhere in the gadget corrupts the majority-decoded
+//      classical value or leaves the quantum ancilla uncorrectable
+//      ("Only two errors ... shall yield an error in the classical bit");
+//  (c) therefore the failure rate is O(p^2): Monte-Carlo sweep slope ~2,
+//      and the fault-pair count gives the leading coefficient and a
+//      pseudo-threshold (the paper's own counting methodology);
+//  (d) ablations: without the Hamming syndrome check, or with a single
+//      repetition, single faults break the gate (slope -> 1).
+#include <cstdio>
+
+#include "analysis/fault_enum.h"
+#include "bench_util.h"
+#include "circuit/execute.h"
+#include "circuit/tab_backend.h"
+#include "codes/steane.h"
+#include "common/stats.h"
+#include "ftqc/layout.h"
+#include "ftqc/ngate.h"
+#include "noise/model.h"
+#include "noise/monte_carlo.h"
+
+using namespace eqc;
+using codes::Block;
+using codes::Steane;
+
+namespace {
+
+struct NGateBench {
+  ftqc::Layout layout;
+  Block source;
+  ftqc::NGateAncillas anc;
+  std::vector<std::uint32_t> out;
+  bool one;
+  ftqc::NGateOptions options;
+
+  NGateBench(bool logical_one, int reps, bool syndrome) : one(logical_one) {
+    source = layout.block();
+    anc = ftqc::allocate_ngate_ancillas(layout, reps);
+    out = layout.reg(7);
+    options.repetitions = reps;
+    options.syndrome_check = syndrome;
+  }
+
+  analysis::FaultExperiment experiment() const {
+    analysis::FaultExperiment ex;
+    ex.num_qubits = layout.total();
+    ex.prep = circuit::Circuit(layout.total());
+    Steane::append_encode_zero(ex.prep, source);
+    if (one) Steane::append_logical_x(ex.prep, source);
+    ex.gadget = circuit::Circuit(layout.total());
+    ftqc::append_ngate(ex.gadget, source, out, anc, options);
+    const auto out_copy = out;
+    const auto src = source;
+    const bool want = one;
+    ex.failed = [out_copy, src, want](circuit::TabBackend& b,
+                                      const circuit::ExecResult&) {
+      int ones = 0;
+      for (auto q : out_copy)
+        ones += b.tableau().deterministic_z_value(q) ? 1 : 0;
+      if ((2 * ones > static_cast<int>(out_copy.size())) != want) return true;
+      Rng rng(3);
+      Steane::perfect_correct(b.tableau(), src, rng);
+      return Steane::logical_z_expectation(b.tableau(), src) !=
+             (want ? -1.0 : 1.0);
+    };
+    return ex;
+  }
+
+  double monte_carlo_rate(const noise::NoiseModel& model,
+                          std::uint64_t trials, std::uint64_t seed) const {
+    const auto ex = experiment();
+    const auto counter = noise::run_trials(
+        trials, seed, [&](Rng& rng) {
+          circuit::TabBackend backend(ex.num_qubits, rng.split());
+          circuit::execute(ex.prep, backend);
+          noise::StochasticInjector injector(model, rng.split());
+          const auto result =
+              circuit::execute(ex.gadget, backend, &injector);
+          return ex.failed(backend, result);
+        });
+    return counter.rate();
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("E1 / Figure 1: the N gate (measurement-free logical copy)");
+  int failures = 0;
+
+  bench::section("(a) correctness on codewords");
+  for (bool one : {false, true}) {
+    NGateBench b(one, 3, true);
+    const auto ex = b.experiment();
+    const bool bad = analysis::run_with_faults(ex, {});
+    failures += bench::verdict(!bad, std::string("copies |") +
+                                         (one ? "1" : "0") +
+                                         ">_L onto the classical register");
+  }
+
+  bench::section("(b) exhaustive single-fault injection (paper fault model)");
+  for (bool one : {false, true}) {
+    NGateBench b(one, 3, true);
+    const auto report = analysis::run_single_faults(b.experiment());
+    std::printf("  input |%d>_L: %zu sites, %zu faults, %zu failures\n",
+                one ? 1 : 0, report.num_sites, report.faults_tested,
+                report.failures);
+    failures += bench::verdict(report.failures == 0,
+                               "no single fault corrupts the copy");
+  }
+
+  bench::section("(b') model sensitivity: correlated multi-qubit gate faults");
+  {
+    NGateBench b(true, 3, true);
+    auto ex = b.experiment();
+    ex.model = analysis::FaultModel::FullDepolarizing;
+    const auto report = analysis::run_single_faults(ex);
+    std::printf(
+        "  correlated model: %zu faults, %zu failures "
+        "(e.g. XX on a majority CCX's controls flips 2 of 3 copies)\n",
+        report.faults_tested, report.failures);
+    std::printf(
+        "  -> the paper's per-location counting assumes one error per "
+        "location;\n     correlated 2-qubit faults need k' = 2 (5 "
+        "repetitions) to absorb.\n");
+  }
+
+  bench::section("(c) fault-pair counting -> p^2 coefficient & threshold");
+  {
+    NGateBench b(true, 3, true);
+    const auto report =
+        analysis::run_fault_pairs(b.experiment(), bench::scaled(20000));
+    std::printf("  sites L = %zu, pairs tested = %llu (%s), malignant = %llu "
+                "(%.3f%%)\n",
+                report.num_sites,
+                static_cast<unsigned long long>(report.pairs_tested),
+                report.exhaustive ? "exhaustive" : "sampled",
+                static_cast<unsigned long long>(report.malignant),
+                100.0 * report.malignant_fraction());
+    std::printf("  P_fail ~ %.1f p^2  =>  pseudo-threshold p* ~ %.2e\n",
+                report.p_squared_coefficient(), report.pseudo_threshold());
+    failures += bench::verdict(report.malignant > 0 &&
+                                   report.pseudo_threshold() < 1.0,
+                               "two faults suffice; threshold finite");
+  }
+
+  bench::section("(d) Monte-Carlo failure-rate sweep (paper error model)");
+  {
+    const std::vector<double> ps = {3e-4, 1e-3, 3e-3};
+    const std::uint64_t trials = bench::scaled(12000);
+    std::printf("  %-9s %-14s %-17s %-12s\n", "p", "FT (3,synd)",
+                "no-syndrome", "1 repetition");
+    std::vector<double> ft_rates, nos_rates, rep1_rates;
+    for (double p : ps) {
+      NGateBench ft(true, 3, true), nos(true, 3, false), rep1(true, 1, true);
+      const auto model = noise::NoiseModel::paper_model(p);
+      const double r_ft = ft.monte_carlo_rate(model, trials, 42);
+      const double r_nos = nos.monte_carlo_rate(model, trials, 43);
+      const double r_rep1 = rep1.monte_carlo_rate(model, trials, 44);
+      ft_rates.push_back(r_ft);
+      nos_rates.push_back(r_nos);
+      rep1_rates.push_back(r_rep1);
+      std::printf("  %-9.0e %-14.5f %-17.5f %-12.5f\n", p, r_ft, r_nos,
+                  r_rep1);
+    }
+    const double slope_ft = bench::loglog_slope(ps, ft_rates);
+    const double slope_nos = bench::loglog_slope(ps, nos_rates);
+    std::printf("  log-log slope: FT %.2f (expect ~2), no-syndrome %.2f "
+                "(expect ~1)\n",
+                slope_ft, slope_nos);
+    failures += bench::verdict(slope_ft > 1.5, "FT variant scales ~ p^2");
+    failures += bench::verdict(slope_nos < slope_ft,
+                               "ablation degrades the scaling");
+  }
+
+  bench::section("(d') correlated gate noise (stronger model) for contrast");
+  {
+    const std::vector<double> ps = {1e-3, 3e-3, 1e-2};
+    const std::uint64_t trials = bench::scaled(3000);
+    std::vector<double> rates;
+    std::printf("  %-9s %-14s\n", "p", "FT (3,synd)");
+    for (double p : ps) {
+      NGateBench ft(true, 3, true);
+      rates.push_back(
+          ft.monte_carlo_rate(noise::NoiseModel::depolarizing(p), trials, 52));
+      std::printf("  %-9.0e %-14.5f\n", p, rates.back());
+    }
+    std::printf("  log-log slope: %.2f — correlated single faults (the\n"
+                "  majority fan-out hazard) reintroduce a linear term.\n",
+                bench::loglog_slope(ps, rates));
+  }
+
+  std::printf("\nE1 overall: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,193 @@
+// E5 — Section 5: measurement-free error recovery.
+//
+// Reproduced claims:
+//  (a) the measurement-free recovery circuit corrects every weight-1 Pauli
+//      error (syndrome extracted into classical-basis bits, decoded by
+//      reversible classical logic, corrected by classically controlled
+//      Paulis — no measurement anywhere);
+//  (b) no single internal fault causes a logical error (after one ideal
+//      decode), so the per-gadget logical error rate is O(p^2);
+//  (c) the measurement-free gadget matches the measurement-based baseline's
+//      fault-tolerance order: Monte-Carlo rate curves coincide in shape;
+//  (d) fault-pair counting gives the p^2 coefficient and pseudo-threshold.
+#include <cstdio>
+
+#include "analysis/fault_enum.h"
+#include "bench_util.h"
+#include "circuit/execute.h"
+#include "circuit/tab_backend.h"
+#include "codes/steane.h"
+#include "ftqc/layout.h"
+#include "ftqc/recovery.h"
+#include "noise/model.h"
+#include "noise/monte_carlo.h"
+
+using namespace eqc;
+using codes::Block;
+using codes::Steane;
+
+namespace {
+
+analysis::FaultExperiment make_experiment(bool plus, bool measurement_free) {
+  ftqc::Layout layout;
+  const Block data = layout.block();
+  auto anc = ftqc::allocate_recovery_ancillas(layout);
+
+  analysis::FaultExperiment ex;
+  ex.num_qubits = layout.total();
+  ex.prep = circuit::Circuit(layout.total());
+  if (plus)
+    Steane::append_encode_plus(ex.prep, data);
+  else
+    Steane::append_encode_zero(ex.prep, data);
+  ex.gadget = circuit::Circuit(layout.total());
+  ftqc::RecoveryOptions opt;
+  opt.measurement_free = measurement_free;
+  ftqc::append_recovery(ex.gadget, data, anc, opt);
+
+  ex.failed = [data, plus](circuit::TabBackend& b,
+                           const circuit::ExecResult&) {
+    Rng rng(5);
+    Steane::perfect_correct(b.tableau(), data, rng);
+    const auto logical =
+        plus ? Steane::logical_x_op(b.tableau().num_qubits(), data)
+             : Steane::logical_z_op(b.tableau().num_qubits(), data);
+    return b.tableau().expectation_pauli(logical) != 1.0;
+  };
+  return ex;
+}
+
+double monte_carlo_rate(const analysis::FaultExperiment& ex, double p,
+                        std::uint64_t trials, std::uint64_t seed) {
+  return noise::run_trials(trials, seed, [&](Rng& rng) {
+           circuit::TabBackend backend(ex.num_qubits, rng.split());
+           circuit::execute(ex.prep, backend);
+           noise::StochasticInjector injector(
+               noise::NoiseModel::paper_model(p), rng.split());
+           const auto result = circuit::execute(ex.gadget, backend, &injector);
+           return ex.failed(backend, result);
+         })
+      .rate();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E5 / Section 5: measurement-free error recovery");
+  int failures = 0;
+
+  bench::section("(a) corrects every weight-1 Pauli error, both bases");
+  {
+    bool all_ok = true;
+    for (bool plus : {false, true}) {
+      const auto ex = make_experiment(plus, true);
+      // Plant each weight-1 error as an Input-style fault by extending the
+      // prep circuit; simpler: use run_with_faults with faults on the data
+      // qubits' first gadget sites.  Here we instead run 21 dedicated
+      // experiments with the error folded into prep.
+      for (int pos = 0; pos < 7 && all_ok; ++pos) {
+        for (pauli::Pauli pl :
+             {pauli::Pauli::X, pauli::Pauli::Y, pauli::Pauli::Z}) {
+          auto ex2 = make_experiment(plus, true);
+          switch (pl) {
+            case pauli::Pauli::X: ex2.prep.x(pos); break;
+            case pauli::Pauli::Y: ex2.prep.y(pos); break;
+            case pauli::Pauli::Z: ex2.prep.z(pos); break;
+            default: break;
+          }
+          // The oracle includes perfect_correct; to show the *gadget*
+          // corrected the planted error we forbid it from relying on the
+          // final ideal decode: check the syndrome is already clean.
+          circuit::TabBackend backend(ex2.num_qubits, Rng(1));
+          circuit::execute(ex2.prep, backend);
+          const auto result = circuit::execute(ex2.gadget, backend);
+          const auto data = Block::contiguous(0);
+          all_ok = all_ok && Steane::block_in_codespace(backend.tableau(), data);
+          const auto logical =
+              plus ? Steane::logical_x_op(backend.tableau().num_qubits(), data)
+                   : Steane::logical_z_op(backend.tableau().num_qubits(), data);
+          all_ok =
+              all_ok && backend.tableau().expectation_pauli(logical) == 1.0;
+          (void)result;
+        }
+      }
+    }
+    failures += bench::verdict(all_ok,
+                               "all 21 x 2 planted weight-1 errors corrected "
+                               "without measurement");
+  }
+
+  bench::section("(b) single-fault injection inside the gadget");
+  // The gadget is large (~3k ops; the burst-repaired ancilla preparation
+  // runs an N gate per extraction), so the default run samples the fault
+  // universe; raise EQC_BENCH_SCALE until the budget covers it for the
+  // fully exhaustive scan (which reports 0 failures — see EXPERIMENTS.md).
+  for (bool plus : {false, true}) {
+    const auto ex = make_experiment(plus, true);
+    const auto report =
+        analysis::run_single_faults_sampled(ex, bench::scaled(6000));
+    std::printf("  input |%s>_L: %zu sites, %zu faults tested, %zu "
+                "failures\n",
+                plus ? "+" : "0", report.num_sites, report.faults_tested,
+                report.failures);
+    failures += bench::verdict(report.failures == 0,
+                               "no sampled single fault causes a logical "
+                               "error");
+  }
+
+  bench::section("(c) Monte-Carlo: measurement-free vs measurement-based");
+  {
+    // The measurement-free gadget is large (the burst-repaired ancilla
+    // preparation runs an N gate per extraction), so its pseudo-threshold
+    // sits around 1e-5 and the sweep must stay below it to show the
+    // quadratic regime.
+    const std::vector<double> ps = {1e-5, 3e-5, 1e-4};
+    const std::uint64_t trials = bench::scaled(2000);
+    {
+      const auto mf = make_experiment(false, true);
+      const auto mb = make_experiment(false, false);
+      std::printf("  fault sites: measurement-free %zu, measured %zu\n",
+                  circuit::enumerate_fault_sites(mf.gadget).size(),
+                  circuit::enumerate_fault_sites(mb.gadget).size());
+    }
+    std::printf("  %-9s %-18s %-18s\n", "p", "measurement-free",
+                "measured baseline");
+    std::vector<double> mf_rates, mb_rates;
+    for (double p : ps) {
+      const double mf =
+          monte_carlo_rate(make_experiment(false, true), p, trials, 31);
+      const double mb =
+          monte_carlo_rate(make_experiment(false, false), p, trials, 37);
+      mf_rates.push_back(mf);
+      mb_rates.push_back(mb);
+      std::printf("  %-9.0e %-18.5f %-18.5f\n", p, mf, mb);
+    }
+    const double slope_mf = bench::loglog_slope(ps, mf_rates);
+    const double slope_mb = bench::loglog_slope(ps, mb_rates);
+    std::printf("  log-log slopes: measurement-free %.2f, measured %.2f\n",
+                slope_mf, slope_mb);
+    failures += bench::verdict(slope_mf > 1.4,
+                               "measurement-free recovery scales ~ p^2");
+    failures += bench::verdict(
+        slope_mb > 1.5, "baseline also ~ p^2: removing measurements costs "
+                        "no fault-tolerance order");
+  }
+
+  bench::section("(d) fault-pair counting");
+  {
+    const auto ex = make_experiment(false, true);
+    const auto report = analysis::run_fault_pairs(ex, bench::scaled(4000));
+    std::printf("  sites L = %zu, pairs = %llu (%s), malignant %.3f%%\n",
+                report.num_sites,
+                static_cast<unsigned long long>(report.pairs_tested),
+                report.exhaustive ? "exhaustive" : "sampled",
+                100.0 * report.malignant_fraction());
+    std::printf("  P_fail ~ %.1f p^2  =>  pseudo-threshold p* ~ %.2e\n",
+                report.p_squared_coefficient(), report.pseudo_threshold());
+    failures +=
+        bench::verdict(report.pseudo_threshold() < 1.0, "threshold finite");
+  }
+
+  std::printf("\nE5 overall: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// E7 — Section 2: teleportation on an ensemble machine.
+//
+// Standard teleportation is fine per computer but inexpressible on an
+// ensemble machine (its Bell outcomes are per-computer secrets): applying
+// no correction yields the maximally mixed state, fidelity 1/2.  The
+// fully-quantum variant (Brassard-Braunstein-Cleve; demonstrated in NMR by
+// Nielsen-Knill-Laflamme) is measurement-free and reaches fidelity 1.
+#include <cmath>
+#include <cstdio>
+
+#include "algorithms/teleport.h"
+#include "bench_util.h"
+#include "common/stats.h"
+
+using namespace eqc;
+using algorithms::Qubit;
+
+int main() {
+  bench::banner("E7: teleportation — standard vs ensemble vs fully quantum");
+  int failures = 0;
+
+  const double inv = 1.0 / std::sqrt(2.0);
+  struct Case {
+    const char* name;
+    Qubit q;
+  };
+  const Case cases[] = {
+      {"|0>", {1.0, 0.0}},
+      {"|1>", {0.0, 1.0}},
+      {"|+>", {inv, inv}},
+      {"|-i>", {inv, cplx{0.0, -inv}}},
+      {"0.6|0>+0.8i|1>", {0.6, cplx{0.0, 0.8}}},
+  };
+  const std::uint64_t trials = bench::scaled(3000);
+
+  std::printf("\n  %-18s %-10s %-18s %-14s\n", "input", "standard",
+              "ensemble attempt", "fully quantum");
+  Rng rng(11);
+  bool all_ok = true;
+  for (const auto& cs : cases) {
+    double standard_min = 1.0;
+    for (int i = 0; i < 20; ++i)
+      standard_min =
+          std::min(standard_min, algorithms::teleport_standard(cs.q, rng));
+    RunningStats attempt;
+    for (std::uint64_t i = 0; i < trials; ++i)
+      attempt.add(algorithms::teleport_ensemble_attempt(cs.q, rng));
+    const double fq = algorithms::teleport_fully_quantum(cs.q);
+    std::printf("  %-18s %-10.4f %-18.4f %-14.6f\n", cs.name, standard_min,
+                attempt.mean(), fq);
+    all_ok = all_ok && standard_min > 1.0 - 1e-9 && fq > 1.0 - 1e-9 &&
+             std::abs(attempt.mean() - 0.5) < 0.05;
+  }
+  failures += bench::verdict(
+      all_ok, "standard = 1 per computer, ensemble attempt = 1/2, "
+              "fully-quantum (measurement-free) = 1");
+
+  std::printf("\nE7 overall: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench binary regenerates one experiment from EXPERIMENTS.md and
+// prints PASS/FAIL against the paper's qualitative claim.  Trial counts
+// scale with the environment variable EQC_BENCH_SCALE (default 1.0), so
+// `EQC_BENCH_SCALE=10 ./bench_...` runs a 10x deeper version.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eqc::bench {
+
+inline double scale() {
+  static const double value = [] {
+    const char* env = std::getenv("EQC_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return value;
+}
+
+inline std::uint64_t scaled(std::uint64_t base) {
+  const double v = static_cast<double>(base) * scale();
+  return v < 1.0 ? 1 : static_cast<std::uint64_t>(v);
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+inline void banner(const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(EQC_BENCH_SCALE=%.2g)\n", scale());
+  std::printf("==============================================================\n");
+}
+
+inline int verdict(bool pass, const std::string& claim) {
+  std::printf("[%s] %s\n", pass ? "PASS" : "FAIL", claim.c_str());
+  return pass ? 0 : 1;
+}
+
+/// Least-squares slope of log(y) vs log(x), skipping non-positive ys.
+inline double loglog_slope(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (ys[i] <= 0.0) continue;
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+}  // namespace eqc::bench

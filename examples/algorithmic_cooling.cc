@@ -1,0 +1,36 @@
+// Algorithmic cooling on an ensemble machine — the paper's cited mechanism
+// (its refs [20], [7]) for supplying fresh ancillas when "measure and flip"
+// is impossible.  Reversible compression concentrates polarization into one
+// qubit; the boost is directly visible in the ensemble expectation readout.
+#include <cstdio>
+
+#include "algorithms/cooling.h"
+#include "ensemble/machine.h"
+
+using namespace eqc;
+
+int main() {
+  std::printf("== Algorithmic cooling (measurement-free ancilla reset) ==\n");
+  std::printf("\n%-8s %-14s %-14s %-14s\n", "eps", "1 round (3q)",
+              "2 rounds (9q)", "theory (2 rds)");
+  for (double eps : {0.05, 0.1, 0.2, 0.4}) {
+    ensemble::EnsembleMachine m3(3, 0, 1);
+    m3.apply([&](qsim::StateVector& sv) {
+      for (std::size_t q = 0; q < 3; ++q)
+        algorithms::prepare_biased_qubit(sv, q, eps);
+      algorithms::apply_basic_compression(sv, 0, 1, 2);
+    });
+    ensemble::EnsembleMachine m9(9, 0, 1);
+    m9.apply([&](qsim::StateVector& sv) {
+      for (std::size_t q = 0; q < 9; ++q)
+        algorithms::prepare_biased_qubit(sv, q, eps);
+      algorithms::apply_recursive_cooling(sv, 0, 2);
+    });
+    std::printf("%-8.2f %-14.5f %-14.5f %-14.5f\n", eps, m3.readout_z(0),
+                m9.readout_z(0), algorithms::recursive_bias(eps, 2));
+  }
+  std::printf(
+      "\nEach round multiplies small biases by ~3/2, entirely with\n"
+      "reversible gates: no measurement, so it runs on the ensemble.\n");
+  return 0;
+}

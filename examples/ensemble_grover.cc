@@ -1,0 +1,68 @@
+// Grover search on an ensemble quantum computer (paper Sec. 2, case (2)).
+//
+// With one marked item the ensemble expectation readout recovers it.  With
+// two marked items every individual computer still finds *a* solution, but
+// the expectation signal washes out — and the repeat-and-sort strategy
+// (multiple searches + a reversible sorting network) restores a readable
+// signal concentrated on the smallest solution.
+#include <cmath>
+#include <cstdio>
+
+#include "algorithms/grover.h"
+#include "ensemble/machine.h"
+
+using namespace eqc;
+using algorithms::GroverParams;
+
+namespace {
+
+void print_signals(const char* label, const std::vector<double>& z,
+                   std::size_t base, std::size_t bits) {
+  std::printf("%-34s", label);
+  for (std::size_t b = 0; b < bits; ++b) std::printf(" %+6.3f", z[base + b]);
+  std::printf("   -> reads %llu\n",
+              static_cast<unsigned long long>(
+                  algorithms::decode_readout(z, base, bits)));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Grover on an ensemble (bulk/NMR) quantum computer ==\n");
+  std::printf("database size 8 (3 qubits); readout = <Z_i> per bit\n\n");
+
+  {
+    GroverParams p;
+    p.num_bits = 3;
+    p.marked = {5};
+    ensemble::EnsembleMachine m(3, 0, 1);
+    m.apply([&](qsim::StateVector& sv) { algorithms::apply_grover(sv, p, 0); });
+    print_signals("1 solution {5}:", m.readout_all(), 0, 3);
+  }
+
+  GroverParams p;
+  p.num_bits = 3;
+  p.marked = {1, 6};
+  {
+    ensemble::EnsembleMachine m(3, 0, 1);
+    m.apply([&](qsim::StateVector& sv) { algorithms::apply_grover(sv, p, 0); });
+    print_signals("2 solutions {1,6}, naive:", m.readout_all(), 0, 3);
+    qsim::StateVector sv(3);
+    algorithms::apply_grover(sv, p, 0);
+    std::printf("  (yet every computer holds a solution: P(success) = %.3f)\n",
+                algorithms::success_probability(sv, p, 0));
+  }
+  {
+    const std::size_t repeats = 4;
+    const std::size_t width = algorithms::repeat_and_sort_width(p, repeats);
+    ensemble::EnsembleMachine m(width, 0, 1);
+    m.apply([&](qsim::StateVector& sv) {
+      algorithms::apply_repeat_and_sort(sv, p, repeats);
+    });
+    print_signals("2 solutions, repeat-and-sort:", m.readout_all(), 0, 3);
+    std::printf("  (register 0 = min of %zu searches -> the smallest "
+                "solution dominates)\n",
+                repeats);
+  }
+  return 0;
+}

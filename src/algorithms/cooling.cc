@@ -1,0 +1,81 @@
+#include "algorithms/cooling.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "qsim/gates.h"
+
+namespace eqc::algorithms {
+
+void prepare_biased_qubit(qsim::StateVector& sv, std::size_t q, double eps) {
+  EQC_EXPECTS(eps >= -1.0 && eps <= 1.0);
+  // P(0) = (1+eps)/2  ->  Ry(2 acos(sqrt(P0))).
+  const double p0 = (1.0 + eps) / 2.0;
+  sv.apply1(q, qsim::gate_ry(2.0 * std::acos(std::sqrt(p0))));
+}
+
+void apply_basic_compression(qsim::StateVector& sv, std::size_t a,
+                             std::size_t b, std::size_t c) {
+  EQC_EXPECTS(a != b && b != c && a != c);
+  // Bijective map: bit a receives MAJ(a,b,c); bits (b,c) receive a 2-bit
+  // tag distinguishing the four inputs with that majority.  Within each
+  // majority class the four patterns are enumerated in a fixed order, so
+  // the map is a permutation of the 8 basis states.
+  sv.apply_permutation([=](std::uint64_t idx) {
+    const int va = (idx >> a) & 1;
+    const int vb = (idx >> b) & 1;
+    const int vc = (idx >> c) & 1;
+    const int maj = (va + vb + vc) >= 2 ? 1 : 0;
+    // Tag: which of the 4 patterns with this majority value.
+    // Patterns with maj m, ordered: the unanimous one first, then the
+    // three with one dissenter, indexed by the dissenter's position.
+    int tag;
+    if (va == maj && vb == maj && vc == maj)
+      tag = 0;
+    else if (va != maj)
+      tag = 1;
+    else if (vb != maj)
+      tag = 2;
+    else
+      tag = 3;
+    std::uint64_t out = idx & ~((std::uint64_t{1} << a) |
+                                (std::uint64_t{1} << b) |
+                                (std::uint64_t{1} << c));
+    if (maj) out |= std::uint64_t{1} << a;
+    if (tag & 1) out |= std::uint64_t{1} << b;
+    if (tag & 2) out |= std::uint64_t{1} << c;
+    return out;
+  });
+}
+
+double compression_bias(double eps) {
+  return (3.0 * eps - eps * eps * eps) / 2.0;
+}
+
+std::size_t apply_recursive_cooling(qsim::StateVector& sv, std::size_t base,
+                                    int depth) {
+  EQC_EXPECTS(depth >= 1 && depth <= 3);
+  std::size_t block = 1;
+  for (int d = 0; d < depth; ++d) block *= 3;
+  EQC_EXPECTS(base + block <= sv.num_qubits());
+
+  // Bottom-up: compress triples of the (recursively cooled) leaders.
+  // After level d the leaders sit at stride 3^d.
+  std::size_t stride = 1;
+  for (int d = 0; d < depth; ++d) {
+    for (std::size_t start = base; start + 2 * stride < base + block;
+         start += 3 * stride) {
+      apply_basic_compression(sv, start, start + stride, start + 2 * stride);
+    }
+    stride *= 3;
+  }
+  return base;
+}
+
+double recursive_bias(double eps, int depth) {
+  double b = eps;
+  for (int d = 0; d < depth; ++d) b = compression_bias(b);
+  return b;
+}
+
+}  // namespace eqc::algorithms

@@ -1,0 +1,42 @@
+// Algorithmic cooling (Boykin-Mor-Roychowdhury-Vatan-Vrijen, PNAS 2002) —
+// the mechanism the paper cites for resetting bits on ensemble computers,
+// where "a simple way to reset a bit is to measure it and flip it if the
+// outcome is |1>" is impossible.
+//
+// Basic compression step (BCS): three qubits, each with bias epsilon
+// (P(|0>) = (1+eps)/2), are reversibly permuted so that the first qubit's
+// bias becomes (3 eps - eps^3)/2 — a ~3/2 boost for small eps — while the
+// other two absorb the entropy.  Applied recursively on fresh triples this
+// purifies ancillas without any measurement, making it ensemble-legal.
+#pragma once
+
+#include <cstddef>
+
+#include "qsim/state_vector.h"
+
+namespace eqc::algorithms {
+
+/// Prepares qubit `q` in the thermal-like pure-state proxy
+/// sqrt((1+eps)/2)|0> + sqrt((1-eps)/2)|1>  (bias eps in [-1, 1]).
+void prepare_biased_qubit(qsim::StateVector& sv, std::size_t q, double eps);
+
+/// Reversible basic compression step on qubits (a, b, c): afterwards
+/// <Z_a> equals the majority-vote bias of the three inputs; b and c hold
+/// the residual information bijectively.
+void apply_basic_compression(qsim::StateVector& sv, std::size_t a,
+                             std::size_t b, std::size_t c);
+
+/// Predicted output bias of one BCS on three independent eps-biased qubits:
+/// (3 eps - eps^3) / 2.
+double compression_bias(double eps);
+
+/// Recursive cooling on 3^depth qubits starting at `base`, all prepared
+/// with bias eps: returns the index of the coldest qubit.  Uses
+/// 3^depth <= 27 qubits (depth <= 3 enforced).
+std::size_t apply_recursive_cooling(qsim::StateVector& sv, std::size_t base,
+                                    int depth);
+
+/// Predicted bias after `depth` recursion levels.
+double recursive_bias(double eps, int depth);
+
+}  // namespace eqc::algorithms

@@ -1,0 +1,131 @@
+#include "algorithms/grover.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "qsim/gates.h"
+
+namespace eqc::algorithms {
+
+namespace {
+
+int optimal_iterations(std::size_t num_bits, std::size_t num_marked) {
+  const double n = static_cast<double>(std::uint64_t{1} << num_bits);
+  const double s = static_cast<double>(num_marked);
+  const double theta = std::asin(std::sqrt(s / n));
+  return std::max(1, static_cast<int>(std::round(M_PI / (4 * theta) - 0.5)));
+}
+
+bool is_marked(const GroverParams& params, std::uint64_t value) {
+  return std::binary_search(params.marked.begin(), params.marked.end(), value);
+}
+
+}  // namespace
+
+void apply_grover(qsim::StateVector& sv, const GroverParams& params,
+                  std::size_t base_qubit) {
+  EQC_EXPECTS(!params.marked.empty());
+  EQC_EXPECTS(std::is_sorted(params.marked.begin(), params.marked.end()));
+  EQC_EXPECTS(base_qubit + params.num_bits <= sv.num_qubits());
+  const std::uint64_t mask = (std::uint64_t{1} << params.num_bits) - 1;
+  for (std::uint64_t m : params.marked) EQC_EXPECTS(m <= mask);
+
+  const int iters = params.iterations > 0
+                        ? params.iterations
+                        : optimal_iterations(params.num_bits,
+                                             params.marked.size());
+
+  auto reg_value = [&](std::uint64_t idx) {
+    return (idx >> base_qubit) & mask;
+  };
+
+  // Uniform superposition.
+  for (std::size_t b = 0; b < params.num_bits; ++b)
+    sv.apply1(base_qubit + b, qsim::gate_h());
+
+  for (int it = 0; it < iters; ++it) {
+    // Oracle: phase-flip marked values.
+    sv.apply_phase_oracle([&](std::uint64_t idx) {
+      return is_marked(params, reg_value(idx));
+    });
+    // Diffusion: H^n, flip phase of |0...0>, H^n.
+    for (std::size_t b = 0; b < params.num_bits; ++b)
+      sv.apply1(base_qubit + b, qsim::gate_h());
+    sv.apply_phase_oracle(
+        [&](std::uint64_t idx) { return reg_value(idx) == 0; });
+    for (std::size_t b = 0; b < params.num_bits; ++b)
+      sv.apply1(base_qubit + b, qsim::gate_h());
+  }
+}
+
+double success_probability(const qsim::StateVector& sv,
+                           const GroverParams& params,
+                           std::size_t base_qubit) {
+  const std::uint64_t mask = (std::uint64_t{1} << params.num_bits) - 1;
+  double p = 0.0;
+  for (std::uint64_t idx = 0; idx < sv.dim(); ++idx) {
+    if (is_marked(params, (idx >> base_qubit) & mask))
+      p += std::norm(sv.amplitude(idx));
+  }
+  return p;
+}
+
+std::size_t repeat_and_sort_width(const GroverParams& params,
+                                  std::size_t repeats) {
+  // r registers plus one comparison-flag ancilla per compare-exchange of a
+  // bubble-sort network: r(r-1)/2 comparators.
+  return repeats * params.num_bits + repeats * (repeats - 1) / 2;
+}
+
+std::size_t apply_repeat_and_sort(qsim::StateVector& sv,
+                                  const GroverParams& params,
+                                  std::size_t repeats) {
+  EQC_EXPECTS(repeats >= 2);
+  const std::size_t nb = params.num_bits;
+  EQC_EXPECTS(repeat_and_sort_width(params, repeats) <= sv.num_qubits());
+
+  // Independent searches into r registers of the same computer.
+  for (std::size_t r = 0; r < repeats; ++r)
+    apply_grover(sv, params, r * nb);
+
+  // Reversible bubble-sort: compare-exchange (i, i+1) records its swap
+  // decision in a fresh flag ancilla, keeping the map injective.
+  const std::uint64_t mask = (std::uint64_t{1} << nb) - 1;
+  std::size_t flag = repeats * nb;
+  std::size_t comparators = 0;
+  for (std::size_t pass = 0; pass + 1 < repeats; ++pass) {
+    for (std::size_t i = 0; i + 1 < repeats - pass; ++i) {
+      const std::size_t lo = i * nb;
+      const std::size_t hi = (i + 1) * nb;
+      const std::size_t f = flag++;
+      ++comparators;
+      // Reversible compare-exchange: f ^= [a > b], then swap iff the NEW
+      // flag value is 1.  This is a bijection on the whole basis (unlike
+      // the naive "swap and set flag"), and sorts whenever f starts at 0.
+      sv.apply_permutation([=](std::uint64_t idx) {
+        const std::uint64_t a = (idx >> lo) & mask;
+        const std::uint64_t b = (idx >> hi) & mask;
+        const bool f_in = (idx >> f) & 1;
+        const bool f_out = f_in != (a > b);
+        std::uint64_t out = idx & ~((mask << lo) | (mask << hi) |
+                                    (std::uint64_t{1} << f));
+        out |= (f_out ? b : a) << lo;
+        out |= (f_out ? a : b) << hi;
+        if (f_out) out |= std::uint64_t{1} << f;
+        return out;
+      });
+    }
+  }
+  return comparators;
+}
+
+std::uint64_t decode_readout(const std::vector<double>& z_values,
+                             std::size_t base, std::size_t num_bits) {
+  std::uint64_t out = 0;
+  for (std::size_t b = 0; b < num_bits; ++b)
+    if (z_values.at(base + b) < 0.0) out |= std::uint64_t{1} << b;
+  return out;
+}
+
+}  // namespace eqc::algorithms

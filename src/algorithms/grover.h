@@ -1,0 +1,55 @@
+// Grover search and its ensemble adaptations (paper Sec. 2, case (2)).
+//
+// With a single marked item, every computer in the ensemble converges to
+// the same answer and the expectation readout works.  With s > 1 marked
+// items the final state is a uniform superposition over the solutions, so
+// the per-bit expectation signal washes out wherever solutions disagree —
+// the readout is useless even though every computer "found" a solution.
+//
+// The fix (from Boykin et al., quant-ph/9907067): run the search r times
+// into r registers on the SAME computer, reversibly SORT the registers,
+// and read the first register: the minimum of r draws concentrates on the
+// smallest solution, so the ensemble signal becomes clean.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ensemble/machine.h"
+#include "qsim/state_vector.h"
+
+namespace eqc::algorithms {
+
+struct GroverParams {
+  std::size_t num_bits = 3;
+  std::vector<std::uint64_t> marked;  ///< sorted set of solutions
+  /// Grover iteration count; 0 = optimal round(pi/4 sqrt(N/s)).
+  int iterations = 0;
+};
+
+/// Applies Grover's algorithm in-place on qubits [base, base+num_bits).
+void apply_grover(qsim::StateVector& sv, const GroverParams& params,
+                  std::size_t base_qubit);
+
+/// Probability that the register holds a marked value.
+double success_probability(const qsim::StateVector& sv,
+                           const GroverParams& params, std::size_t base_qubit);
+
+/// Repeat-and-sort: `repeats` Grover registers side by side, reversibly
+/// sorted so register 0 holds the minimum.  Needs
+/// repeats*num_bits + comparator-flag qubits; returns the number of flag
+/// ancillas used (one per compare-exchange).
+std::size_t apply_repeat_and_sort(qsim::StateVector& sv,
+                                  const GroverParams& params,
+                                  std::size_t repeats);
+
+/// Qubits needed by apply_repeat_and_sort.
+std::size_t repeat_and_sort_width(const GroverParams& params,
+                                  std::size_t repeats);
+
+/// Decodes an expectation-value readout of one register into a candidate
+/// answer: bit i = 1 iff <Z_i> < 0.
+std::uint64_t decode_readout(const std::vector<double>& z_values,
+                             std::size_t base, std::size_t num_bits);
+
+}  // namespace eqc::algorithms

@@ -1,0 +1,170 @@
+#include "algorithms/order_finding.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.h"
+#include "qsim/gates.h"
+
+namespace eqc::algorithms {
+
+std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp,
+                      std::uint64_t mod) {
+  EQC_EXPECTS(mod > 0);
+  std::uint64_t result = 1 % mod;
+  base %= mod;
+  while (exp > 0) {
+    if (exp & 1) result = (result * base) % mod;
+    base = (base * base) % mod;
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t multiplicative_order(std::uint64_t a, std::uint64_t n) {
+  EQC_EXPECTS(n > 1 && std::gcd(a, n) == 1);
+  std::uint64_t v = a % n;
+  std::uint64_t order = 1;
+  while (v != 1) {
+    v = (v * (a % n)) % n;
+    ++order;
+    EQC_CHECK(order <= n);
+  }
+  return order;
+}
+
+std::uint64_t candidate_order(std::uint64_t y, std::size_t phase_bits,
+                              std::uint64_t base, std::uint64_t modulus) {
+  if (y == 0) return 0;
+  // Continued-fraction expansion of y / 2^t; test each convergent's
+  // denominator as an order candidate.
+  const std::uint64_t q_max = std::uint64_t{1} << phase_bits;
+  std::uint64_t num = y, den = q_max;
+  // Convergent denominators k_n = a_n k_{n-1} + k_{n-2}, seeded with
+  // k_{-2} = 1, k_{-1} = 0.
+  std::uint64_t q_prev = 1, q_cur = 0;
+  while (den != 0) {
+    const std::uint64_t a = num / den;
+    const std::uint64_t rem = num % den;
+    const std::uint64_t q_next = a * q_cur + q_prev;
+    if (q_next > modulus) break;
+    q_prev = q_cur;
+    q_cur = q_next;
+    // Check the denominator (and, for even orders missed by an unlucky
+    // convergent, its double).
+    for (std::uint64_t r : {q_cur, 2 * q_cur}) {
+      if (r >= 1 && r <= modulus && mod_pow(base, r, modulus) == 1) return r;
+    }
+    num = den;
+    den = rem;
+  }
+  return 0;
+}
+
+OrderFindingLayout order_finding_layout(const OrderFindingParams& p) {
+  OrderFindingLayout l;
+  l.phase0 = 0;
+  l.value0 = p.phase_bits;
+  l.answer0 = l.value0 + p.value_bits;
+  l.random0 = l.answer0 + p.order_bits;
+  l.flag = l.random0 + p.order_bits;
+  l.total = l.flag + 1;
+  return l;
+}
+
+// Inverse QFT on qubits [base, base+n), bit k of the integer on qubit
+// base+k.  Verified against the dense DFT in tests.
+void apply_inverse_qft(qsim::StateVector& sv, std::size_t base,
+                       std::size_t n) {
+  // Undo the bit-reversal swaps of the forward QFT first.
+  for (std::size_t k = 0; k < n / 2; ++k)
+    sv.apply_swap(base + k, base + n - 1 - k);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t m = 0; m < j; ++m) {
+      const double angle = -M_PI / static_cast<double>(1ULL << (j - m));
+      sv.apply_controlled({base + m}, base + j, qsim::gate_phase(angle));
+    }
+    sv.apply1(base + j, qsim::gate_h());
+  }
+}
+
+void apply_order_finding(qsim::StateVector& sv,
+                         const OrderFindingParams& p) {
+  const auto l = order_finding_layout(p);
+  EQC_EXPECTS(l.total <= sv.num_qubits());
+  EQC_EXPECTS(std::gcd(p.base, p.modulus) == 1);
+  EQC_EXPECTS((std::uint64_t{1} << p.value_bits) >= p.modulus);
+
+  const std::uint64_t vmask = (std::uint64_t{1} << p.value_bits) - 1;
+
+  // Phase register in uniform superposition; value register = |1>.
+  for (std::size_t k = 0; k < p.phase_bits; ++k)
+    sv.apply1(l.phase0 + k, qsim::gate_h());
+  sv.apply1(l.value0, qsim::gate_x());
+
+  // Controlled modular multiplications by a^{2^k}.
+  for (std::size_t k = 0; k < p.phase_bits; ++k) {
+    const std::uint64_t mult = mod_pow(p.base, std::uint64_t{1} << k,
+                                       p.modulus);
+    const std::size_t control = l.phase0 + k;
+    sv.apply_permutation([=, &p](std::uint64_t idx) {
+      if (!((idx >> control) & 1)) return idx;
+      const std::uint64_t v = (idx >> p.phase_bits) & vmask;
+      if (v >= p.modulus) return idx;  // padding values are fixed points
+      const std::uint64_t nv = (v * mult) % p.modulus;
+      std::uint64_t out = idx & ~(vmask << p.phase_bits);
+      return out | (nv << p.phase_bits);
+    });
+  }
+
+  apply_inverse_qft(sv, l.phase0, p.phase_bits);
+}
+
+void apply_coherent_verification(qsim::StateVector& sv,
+                                 const OrderFindingParams& p) {
+  const auto l = order_finding_layout(p);
+  const std::uint64_t ymask = (std::uint64_t{1} << p.phase_bits) - 1;
+  const std::uint64_t omask = (std::uint64_t{1} << p.order_bits) - 1;
+
+  // Precompute r(y) for every phase value (the classical subroutine that
+  // Gershenfeld-Chuang fold into the quantum algorithm).
+  std::vector<std::uint64_t> r_of_y(ymask + 1);
+  for (std::uint64_t y = 0; y <= ymask; ++y) {
+    const std::uint64_t r = candidate_order(y, p.phase_bits, p.base,
+                                            p.modulus);
+    r_of_y[y] = (r <= omask) ? r : 0;
+  }
+
+  sv.apply_permutation([=, &l](std::uint64_t idx) {
+    const std::uint64_t y = (idx >> l.phase0) & ymask;
+    const std::uint64_t r = r_of_y[y];
+    std::uint64_t out = idx ^ (r << l.answer0);  // answer ^= r(y)
+    if (r != 0) out ^= std::uint64_t{1} << l.flag;  // flag ^= valid
+    return out;
+  });
+}
+
+void apply_randomize_bad_results(qsim::StateVector& sv,
+                                 const OrderFindingParams& p) {
+  const auto l = order_finding_layout(p);
+  const std::uint64_t omask = (std::uint64_t{1} << p.order_bits) - 1;
+
+  // Fresh uniform randomness.
+  for (std::size_t k = 0; k < p.order_bits; ++k)
+    sv.apply1(l.random0 + k, qsim::gate_h());
+
+  // Swap answer <-> random wherever the verification flag is 0: the bad
+  // candidates become uniform noise whose expectation signal is zero.
+  sv.apply_permutation([=, &l](std::uint64_t idx) {
+    if ((idx >> l.flag) & 1) return idx;
+    const std::uint64_t ans = (idx >> l.answer0) & omask;
+    const std::uint64_t rnd = (idx >> l.random0) & omask;
+    std::uint64_t out =
+        idx & ~((omask << l.answer0) | (omask << l.random0));
+    out |= rnd << l.answer0;
+    out |= ans << l.random0;
+    return out;
+  });
+}
+
+}  // namespace eqc::algorithms

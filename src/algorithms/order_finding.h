@@ -1,0 +1,68 @@
+// Order finding (the quantum core of Shor's algorithm) and its ensemble
+// adaptation (paper Sec. 2, case (1)).
+//
+// The standard algorithm measures the phase-estimation register and
+// classically post-processes (continued fractions + verification).  On an
+// ensemble machine the measurement outcomes differ across computers, and
+// even after folding the classical verification into the circuit (as
+// Gershenfeld-Chuang proposed) the "bad" candidates still pollute the
+// average.  The paper's randomize-bad-results strategy replaces each bad
+// candidate with fresh random data, whose contribution to the expectation
+// readout averages to zero, leaving the good answer's clean signal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qsim/state_vector.h"
+
+namespace eqc::algorithms {
+
+struct OrderFindingParams {
+  std::uint64_t modulus = 15;  ///< N
+  std::uint64_t base = 7;      ///< a, with gcd(a, N) = 1
+  std::size_t phase_bits = 8;  ///< t, phase-estimation register width
+  std::size_t value_bits = 4;  ///< target register width (>= ceil lg N)
+  std::size_t order_bits = 3;  ///< answer register width (>= ceil lg r)
+};
+
+std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp,
+                      std::uint64_t mod);
+/// Multiplicative order of a mod N (classical reference).
+std::uint64_t multiplicative_order(std::uint64_t a, std::uint64_t n);
+
+/// Classical post-processing of a phase-register readout y: the candidate
+/// order from the continued-fraction expansion of y / 2^t (0 if none).
+std::uint64_t candidate_order(std::uint64_t y, std::size_t phase_bits,
+                              std::uint64_t base, std::uint64_t modulus);
+
+/// Register layout within one computer:
+///   [phase t][value v][answer o][random o][flag 1]
+struct OrderFindingLayout {
+  std::size_t phase0, value0, answer0, random0, flag;
+  std::size_t total;
+};
+OrderFindingLayout order_finding_layout(const OrderFindingParams& params);
+
+/// Inverse quantum Fourier transform on qubits [base, base+n), with bit k
+/// of the integer on qubit base+k (verified against the dense DFT).
+void apply_inverse_qft(qsim::StateVector& sv, std::size_t base,
+                       std::size_t n);
+
+/// Runs phase estimation: H^t, controlled modular multiplications, inverse
+/// QFT on the phase register.  The computer ends in a superposition of
+/// phase readouts y.
+void apply_order_finding(qsim::StateVector& sv,
+                         const OrderFindingParams& params);
+
+/// Folds the classical post-processing into the circuit: writes the
+/// candidate order r(y) into the answer register and the validity flag.
+void apply_coherent_verification(qsim::StateVector& sv,
+                                 const OrderFindingParams& params);
+
+/// The paper's strategy: prepares the random register uniformly and swaps
+/// it into the answer register on every computer whose flag is 0.
+void apply_randomize_bad_results(qsim::StateVector& sv,
+                                 const OrderFindingParams& params);
+
+}  // namespace eqc::algorithms

@@ -1,0 +1,57 @@
+#include "algorithms/rng_demo.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "ensemble/machine.h"
+#include "qsim/gates.h"
+#include "qsim/state_vector.h"
+
+namespace eqc::algorithms {
+
+namespace {
+void prepare_biased(qsim::StateVector& sv, double p_zero) {
+  // Ry rotation: |0> -> sqrt(p0)|0> + sqrt(1-p0)|1>.
+  sv.apply1(0, qsim::gate_ry(2.0 * std::acos(std::sqrt(p_zero))));
+}
+}  // namespace
+
+std::vector<bool> single_computer_rng(double p_zero, std::size_t count,
+                                      Rng& rng) {
+  EQC_EXPECTS(p_zero >= 0.0 && p_zero <= 1.0);
+  std::vector<bool> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    qsim::StateVector sv(1);
+    prepare_biased(sv, p_zero);
+    out.push_back(sv.measure(0, rng));
+  }
+  return out;
+}
+
+std::vector<double> ensemble_rng_readouts(double p_zero,
+                                          std::size_t num_computers,
+                                          std::size_t trials,
+                                          std::uint64_t seed) {
+  std::vector<double> out;
+  out.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    ensemble::EnsembleMachine machine(1, num_computers, seed + t);
+    machine.apply([p_zero](qsim::StateVector& sv) {
+      prepare_biased(sv, p_zero);
+    });
+    out.push_back(machine.readout_z(0, /*shot_sampled=*/true));
+  }
+  return out;
+}
+
+double empirical_entropy(const std::vector<bool>& bits) {
+  if (bits.empty()) return 0.0;
+  std::size_t ones = 0;
+  for (bool b : bits) ones += b ? 1 : 0;
+  const double p = static_cast<double>(ones) / static_cast<double>(bits.size());
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1 - p) * std::log2(1 - p);
+}
+
+}  // namespace eqc::algorithms

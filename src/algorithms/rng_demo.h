@@ -1,0 +1,28 @@
+// The random-number-generator impossibility (paper Sec. 2): a single
+// quantum computer extracts one Bernoulli(p) bit per measurement of
+// sqrt(p)|0> + sqrt(1-p)|1>; an ensemble machine sees only the expectation
+// p*lambda_0 + (1-p)*lambda_1 — a deterministic number carrying no entropy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eqc::algorithms {
+
+/// Per-computer measurements: `count` genuine Bernoulli(1-p0) samples.
+std::vector<bool> single_computer_rng(double p_zero, std::size_t count,
+                                      Rng& rng);
+
+/// Ensemble readouts of the same state over `trials` fresh ensembles of
+/// `num_computers` molecules each: all values cluster at 2*p_zero - 1.
+std::vector<double> ensemble_rng_readouts(double p_zero,
+                                          std::size_t num_computers,
+                                          std::size_t trials,
+                                          std::uint64_t seed);
+
+/// Shannon entropy (bits) of a boolean sample.
+double empirical_entropy(const std::vector<bool>& bits);
+
+}  // namespace eqc::algorithms

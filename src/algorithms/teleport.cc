@@ -1,0 +1,60 @@
+#include "algorithms/teleport.h"
+
+#include "common/assert.h"
+#include "qsim/gates.h"
+#include "qsim/state_vector.h"
+
+namespace eqc::algorithms {
+
+namespace {
+
+using qsim::StateVector;
+
+// Qubit 0: input; qubits 1, 2: Bell pair; output on qubit 2.
+StateVector prepared_state(const Qubit& input) {
+  std::vector<cplx> amp(8, cplx{0, 0});
+  amp[0] = input.alpha;
+  amp[1] = input.beta;
+  auto sv = StateVector::from_amplitudes(std::move(amp));
+  sv.apply1(1, qsim::gate_h());
+  sv.apply_cnot(1, 2);
+  // Bell-basis rotation on (0, 1).
+  sv.apply_cnot(0, 1);
+  sv.apply1(0, qsim::gate_h());
+  return sv;
+}
+
+double output_fidelity(const StateVector& sv, const Qubit& input) {
+  return sv.subsystem_fidelity({2}, {input.alpha, input.beta});
+}
+
+}  // namespace
+
+double teleport_standard(const Qubit& input, Rng& rng) {
+  StateVector sv = prepared_state(input);
+  const bool m0 = sv.measure(0, rng);  // Z-correction bit
+  const bool m1 = sv.measure(1, rng);  // X-correction bit
+  if (m1) sv.apply1(2, qsim::gate_x());
+  if (m0) sv.apply1(2, qsim::gate_z());
+  return output_fidelity(sv, input);
+}
+
+double teleport_ensemble_attempt(const Qubit& input, Rng& rng) {
+  StateVector sv = prepared_state(input);
+  // The measurements happen (each molecule collapses), but the outcomes are
+  // unobservable per computer, so nothing can be conditioned on them.
+  (void)sv.measure(0, rng);
+  (void)sv.measure(1, rng);
+  return output_fidelity(sv, input);
+}
+
+double teleport_fully_quantum(const Qubit& input) {
+  StateVector sv = prepared_state(input);
+  // Corrections as quantum-controlled operations; the would-be measurement
+  // qubits simply dephase, which is invisible to the output.
+  sv.apply_cnot(1, 2);
+  sv.apply_cz(0, 2);
+  return output_fidelity(sv, input);
+}
+
+}  // namespace eqc::algorithms

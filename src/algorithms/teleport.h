@@ -1,0 +1,39 @@
+// Teleportation on single-computer vs ensemble machines (paper Sec. 2).
+//
+// Standard teleportation needs the Bell-measurement outcomes to pick the
+// correction — on an ensemble machine the outcomes are uniformly random per
+// computer and only their (useless) average is observable, so no correction
+// can be applied and the output is maximally mixed (fidelity 1/2).  The
+// "fully-quantum teleportation" of Brassard-Braunstein-Cleve replaces the
+// classically-conditioned corrections with quantum-controlled X and Z, is
+// measurement-free, and achieves fidelity 1 on an ensemble machine (and was
+// demonstrated in NMR by Nielsen-Knill-Laflamme).
+#pragma once
+
+#include <complex>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace eqc::algorithms {
+
+/// Input qubit state alpha|0> + beta|1> (normalized by the caller).
+struct Qubit {
+  cplx alpha{1, 0};
+  cplx beta{0, 0};
+};
+
+/// Standard teleportation with measurement + feed-forward corrections;
+/// returns the fidelity of the received state (always 1).
+double teleport_standard(const Qubit& input, Rng& rng);
+
+/// What an ensemble machine can do with the standard protocol: the Bell
+/// outcomes are unobservable per computer, so NO correction is applied.
+/// Returns the fidelity averaged over the measurement record (-> 1/2).
+double teleport_ensemble_attempt(const Qubit& input, Rng& rng);
+
+/// Fully-quantum teleportation: corrections as coherent controlled gates;
+/// measurement-free, ensemble-legal; returns fidelity (always 1).
+double teleport_fully_quantum(const Qubit& input);
+
+}  // namespace eqc::algorithms

@@ -1,0 +1,145 @@
+#include "analysis/fault_enum.h"
+
+#include "common/assert.h"
+
+namespace eqc::analysis {
+
+namespace {
+
+using circuit::FaultSite;
+using pauli::Pauli;
+using pauli::PauliString;
+
+void append_site_faults(const FaultSite& site, std::size_t num_qubits,
+                        FaultModel model, std::vector<Fault>& out) {
+  const std::size_t k = site.qubits.size();
+  if (model == FaultModel::SingleQubit) {
+    for (std::size_t i = 0; i < k; ++i)
+      for (Pauli label : {Pauli::X, Pauli::Y, Pauli::Z})
+        out.push_back(
+            Fault{site.ordinal,
+                  PauliString::single(num_qubits, site.qubits[i], label)});
+    return;
+  }
+  // FullDepolarizing: all 4^k - 1 non-identity patterns.
+  const std::uint64_t patterns = std::uint64_t{1} << (2 * k);
+  for (std::uint64_t code = 1; code < patterns; ++code) {
+    PauliString p(num_qubits);
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto label = static_cast<Pauli>((code >> (2 * i)) & 3);
+      if (label != Pauli::I) p.set(site.qubits[i], label);
+    }
+    out.push_back(Fault{site.ordinal, std::move(p)});
+  }
+}
+
+}  // namespace
+
+double PairReport::p_squared_coefficient() const {
+  // P(exactly two sites err) ~ C(L,2) p^2; conditioned on two errors, the
+  // Pauli at each site is uniform over its patterns, so the failure
+  // probability is the malignant fraction over uniformly drawn pairs.
+  const double l = static_cast<double>(num_sites);
+  return 0.5 * l * (l - 1.0) * malignant_fraction();
+}
+
+double PairReport::pseudo_threshold() const {
+  const double a = p_squared_coefficient();
+  return a <= 0.0 ? 1.0 : 1.0 / a;
+}
+
+std::vector<Fault> enumerate_single_faults(const FaultExperiment& ex) {
+  const auto sites = circuit::enumerate_fault_sites(ex.gadget);
+  std::vector<Fault> out;
+  for (const auto& site : sites)
+    append_site_faults(site, ex.num_qubits, ex.model, out);
+  return out;
+}
+
+bool run_with_faults(const FaultExperiment& ex,
+                     const std::vector<Fault>& faults) {
+  EQC_EXPECTS(ex.failed != nullptr);
+  circuit::TabBackend backend(ex.num_qubits, Rng(ex.seed));
+  circuit::execute(ex.prep, backend);
+  circuit::PlantedInjector injector;
+  for (const auto& f : faults) injector.plant(f.ordinal, f.error);
+  const auto result = circuit::execute(ex.gadget, backend, &injector);
+  return ex.failed(backend, result);
+}
+
+SingleFaultReport run_single_faults(const FaultExperiment& ex) {
+  SingleFaultReport report;
+  report.num_sites = circuit::enumerate_fault_sites(ex.gadget).size();
+  const auto faults = enumerate_single_faults(ex);
+  for (const auto& fault : faults) {
+    ++report.faults_tested;
+    if (run_with_faults(ex, {fault})) {
+      ++report.failures;
+      report.failing.push_back(fault);
+    }
+  }
+  return report;
+}
+
+SingleFaultReport run_single_faults_sampled(const FaultExperiment& ex,
+                                            std::uint64_t budget,
+                                            std::uint64_t sample_seed) {
+  SingleFaultReport report;
+  report.num_sites = circuit::enumerate_fault_sites(ex.gadget).size();
+  const auto faults = enumerate_single_faults(ex);
+  if (faults.size() <= budget) {
+    for (const auto& fault : faults) {
+      ++report.faults_tested;
+      if (run_with_faults(ex, {fault})) {
+        ++report.failures;
+        report.failing.push_back(fault);
+      }
+    }
+    return report;
+  }
+  Rng rng(sample_seed);
+  for (std::uint64_t i = 0; i < budget; ++i) {
+    const auto& fault = faults[rng.below(faults.size())];
+    ++report.faults_tested;
+    if (run_with_faults(ex, {fault})) {
+      ++report.failures;
+      report.failing.push_back(fault);
+    }
+  }
+  return report;
+}
+
+PairReport run_fault_pairs(const FaultExperiment& ex, std::uint64_t budget,
+                           std::uint64_t sample_seed) {
+  PairReport report;
+  const auto faults = enumerate_single_faults(ex);
+  report.num_sites = circuit::enumerate_fault_sites(ex.gadget).size();
+  report.single_faults = faults.size();
+
+  const std::uint64_t n = faults.size();
+  const std::uint64_t total_pairs = n * (n - 1) / 2;
+
+  if (total_pairs <= budget) {
+    report.exhaustive = true;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      for (std::uint64_t j = i + 1; j < n; ++j) {
+        if (faults[i].ordinal == faults[j].ordinal) continue;  // same site
+        ++report.pairs_tested;
+        if (run_with_faults(ex, {faults[i], faults[j]})) ++report.malignant;
+      }
+    }
+    return report;
+  }
+
+  Rng rng(sample_seed);
+  while (report.pairs_tested < budget) {
+    const std::uint64_t i = rng.below(n);
+    const std::uint64_t j = rng.below(n);
+    if (i == j || faults[i].ordinal == faults[j].ordinal) continue;
+    ++report.pairs_tested;
+    if (run_with_faults(ex, {faults[i], faults[j]})) ++report.malignant;
+  }
+  return report;
+}
+
+}  // namespace eqc::analysis

@@ -1,0 +1,50 @@
+// Simulation backend interface.
+//
+// The executor drives a Backend; two implementations exist:
+//  * SvBackend  — exact dense state vector (any op, <= ~24 qubits);
+//  * TabBackend — CHP stabilizer tableau (Clifford only; CCX/CCZ are lowered
+//    when their controls are "classical", i.e. deterministic in the Z basis —
+//    which is exactly the regime the paper's classical-ancilla technique
+//    guarantees).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "pauli/pauli_string.h"
+
+namespace eqc::circuit {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual std::size_t num_qubits() const = 0;
+
+  virtual void prep_z(std::size_t q) = 0;
+  virtual void prep_x(std::size_t q) = 0;
+  virtual void h(std::size_t q) = 0;
+  virtual void x(std::size_t q) = 0;
+  virtual void y(std::size_t q) = 0;
+  virtual void z(std::size_t q) = 0;
+  virtual void s(std::size_t q) = 0;
+  virtual void sdg(std::size_t q) = 0;
+  virtual void t(std::size_t q) = 0;
+  virtual void tdg(std::size_t q) = 0;
+  virtual void cnot(std::size_t c, std::size_t t) = 0;
+  virtual void cz(std::size_t a, std::size_t b) = 0;
+  virtual void cs(std::size_t control, std::size_t target) = 0;
+  virtual void csdg(std::size_t control, std::size_t target) = 0;
+  virtual void swap(std::size_t a, std::size_t b) = 0;
+  virtual void ccx(std::size_t c0, std::size_t c1, std::size_t t) = 0;
+  virtual void ccz(std::size_t a, std::size_t b, std::size_t c) = 0;
+
+  virtual bool measure_z(std::size_t q) = 0;
+  virtual double expectation_z(std::size_t q) const = 0;
+  virtual void apply_pauli(const pauli::PauliString& p) = 0;
+
+  /// RNG used for measurement collapse / resets.
+  virtual Rng& rng() = 0;
+};
+
+}  // namespace eqc::circuit

@@ -1,0 +1,86 @@
+// Circuit container + fluent builder.
+//
+// A Circuit owns a fixed-width qubit register, an op list, the classical
+// bits written by measurements, and the classical condition functions used
+// by the measurement-based baseline protocols.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/op.h"
+
+namespace eqc::circuit {
+
+/// Classical predicate over the measured bits.
+using ClassicalFunc = std::function<bool(const std::vector<bool>&)>;
+
+class Circuit {
+ public:
+  explicit Circuit(std::size_t num_qubits);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  std::size_t num_cbits() const { return num_cbits_; }
+  const std::vector<Op>& ops() const { return ops_; }
+  const std::vector<ClassicalFunc>& classical_funcs() const { return funcs_; }
+
+  // --- Builder (each returns *this for chaining). -------------------------
+  Circuit& prep_z(std::uint32_t q);
+  Circuit& prep_x(std::uint32_t q);
+  Circuit& h(std::uint32_t q);
+  Circuit& x(std::uint32_t q);
+  Circuit& y(std::uint32_t q);
+  Circuit& z(std::uint32_t q);
+  Circuit& s(std::uint32_t q);
+  Circuit& sdg(std::uint32_t q);
+  Circuit& t(std::uint32_t q);
+  Circuit& tdg(std::uint32_t q);
+  Circuit& cnot(std::uint32_t control, std::uint32_t target);
+  Circuit& cz(std::uint32_t a, std::uint32_t b);
+  Circuit& cs(std::uint32_t control, std::uint32_t target);
+  Circuit& csdg(std::uint32_t control, std::uint32_t target);
+  Circuit& swap(std::uint32_t a, std::uint32_t b);
+  Circuit& ccx(std::uint32_t c0, std::uint32_t c1, std::uint32_t target);
+  Circuit& ccz(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+  Circuit& idle(std::uint32_t q);
+  /// Allocates a classical slot, returns its index.
+  std::uint32_t measure_z(std::uint32_t q);
+
+  /// Registers a classical condition; returns its id for the *_if ops.
+  std::uint32_t add_classical_func(ClassicalFunc f);
+  /// Condition that is simply "classical bit `slot` is 1".
+  std::uint32_t cbit_func(std::uint32_t slot);
+
+  Circuit& x_if(std::uint32_t func_id, std::uint32_t q);
+  Circuit& z_if(std::uint32_t func_id, std::uint32_t q);
+  Circuit& s_if(std::uint32_t func_id, std::uint32_t q);
+  Circuit& sdg_if(std::uint32_t func_id, std::uint32_t q);
+  Circuit& cnot_if(std::uint32_t func_id, std::uint32_t control,
+                   std::uint32_t target);
+  Circuit& cz_if(std::uint32_t func_id, std::uint32_t a, std::uint32_t b);
+
+  /// Appends all ops of `other` (same register width required); classical
+  /// slots and functions of `other` are re-based onto this circuit.
+  Circuit& append(const Circuit& other);
+
+  /// Total op count (= gate fault locations, before idle/input locations).
+  std::size_t size() const { return ops_.size(); }
+
+  /// Multi-line human-readable dump (debugging aid).
+  std::string to_string() const;
+
+ private:
+  Circuit& push(OpKind kind, std::uint32_t q0 = kNoOperand,
+                std::uint32_t q1 = kNoOperand, std::uint32_t q2 = kNoOperand,
+                std::uint32_t carg = kNoOperand);
+  void check_qubit(std::uint32_t q) const;
+
+  std::size_t num_qubits_;
+  std::size_t num_cbits_ = 0;
+  std::vector<Op> ops_;
+  std::vector<ClassicalFunc> funcs_;
+};
+
+}  // namespace eqc::circuit

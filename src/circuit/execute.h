@@ -1,0 +1,91 @@
+// Circuit execution with explicit fault sites.
+//
+// The executor walks the ASAP schedule moment by moment and, at every fault
+// location — input, prep output, gate output, measurement input, delay line —
+// gives an optional FaultInjector the chance to apply a Pauli error.  The
+// site enumeration order is deterministic, which is what lets the analysis
+// module plant specific single faults and fault pairs and replay the circuit
+// exactly (the paper's "count the potential places for two errors"
+// methodology).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "circuit/backend.h"
+#include "circuit/circuit.h"
+#include "circuit/schedule.h"
+
+namespace eqc::circuit {
+
+struct FaultSite {
+  enum class Kind : std::uint8_t {
+    Input,         ///< error on an input qubit before the circuit starts
+    PrepOutput,    ///< error after an ancilla (re-)preparation
+    GateOutput,    ///< error after a unitary gate
+    MeasureInput,  ///< error right before a measurement
+    Idle,          ///< storage error on a waiting qubit ("delay line")
+  };
+
+  Kind kind;
+  std::size_t ordinal;  ///< position in the deterministic visitation order
+  std::size_t moment;
+  std::size_t op_index;  ///< index into circuit.ops(); kNoOp for Input/Idle
+  std::vector<std::uint32_t> qubits;  ///< qubits the fault may act on
+
+  static constexpr std::size_t kNoOp = ~std::size_t{0};
+};
+
+/// Visitor invoked at every fault site during execution.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  /// May call backend.apply_pauli() to inject an error at this site.
+  virtual void visit(const FaultSite& site, Backend& backend) = 0;
+};
+
+struct ExecOptions {
+  /// Emit an Input fault site for every used qubit before the first moment.
+  bool include_input_sites = false;
+};
+
+struct ExecResult {
+  std::vector<bool> cbits;
+};
+
+/// Runs `circuit` on `backend`; throws if the backend rejects an op.
+ExecResult execute(const Circuit& circuit, Backend& backend,
+                   FaultInjector* injector = nullptr,
+                   const ExecOptions& options = {});
+
+/// Injector that only records the visited sites (used to enumerate the
+/// fault locations of a circuit without disturbing it).
+class SiteCollector final : public FaultInjector {
+ public:
+  void visit(const FaultSite& site, Backend&) override {
+    sites_.push_back(site);
+  }
+  const std::vector<FaultSite>& sites() const { return sites_; }
+
+ private:
+  std::vector<FaultSite> sites_;
+};
+
+/// Injector that applies pre-chosen Paulis at pre-chosen site ordinals.
+class PlantedInjector final : public FaultInjector {
+ public:
+  /// `fault` must act only on the site's qubits (checked at visit time).
+  void plant(std::size_t ordinal, pauli::PauliString fault);
+  void visit(const FaultSite& site, Backend& backend) override;
+
+ private:
+  std::vector<std::pair<std::size_t, pauli::PauliString>> planted_;
+};
+
+/// Enumerates all fault sites of `circuit` (runs it once on a throwaway
+/// tableau backend when `clifford_ok`, otherwise on a state vector).
+std::vector<FaultSite> enumerate_fault_sites(const Circuit& circuit,
+                                             const ExecOptions& options = {});
+
+}  // namespace eqc::circuit

@@ -1,0 +1,138 @@
+// Circuit operation vocabulary.
+//
+// The op set is deliberately small: the Clifford group generators, the two
+// non-Clifford gates the paper's constructions are about (T and the
+// classical-reversible CCX/CCZ), measurement, and the classically-controlled
+// gates needed by the measurement-*based* baselines.  Idle is an explicit
+// "delay line" op so noise and fault enumeration can count waiting qubits,
+// matching the paper's error model ("per gate, per input bit, and per delay
+// line").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace eqc::circuit {
+
+inline constexpr std::uint32_t kNoOperand = ~std::uint32_t{0};
+
+enum class OpKind : std::uint8_t {
+  PrepZ,   // (re-)prepare |0>  — fresh-ancilla supply
+  PrepX,   // (re-)prepare |+>
+  H,
+  X,
+  Y,
+  Z,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  CNOT,  // q0 = control, q1 = target
+  CZ,
+  CS,    // controlled-S (q0 = control, q1 = target); non-Clifford
+  CSdg,  // controlled-S^dagger; non-Clifford
+  Swap,
+  CCX,  // q0, q1 = controls, q2 = target
+  CCZ,
+  MeasureZ,  // outcome written to classical slot `carg`
+  // Classically controlled gates (measurement-based baselines only).  The
+  // condition is classical function `carg` evaluated over the classical bits.
+  XIfC,
+  ZIfC,
+  SIfC,
+  SdgIfC,
+  CNOTIfC,  // q0 = control qubit, q1 = target qubit
+  CZIfC,
+  Idle,  // explicit delay-line step on q0
+};
+
+/// Number of qubit operands the op kind uses.
+constexpr int arity(OpKind k) {
+  switch (k) {
+    case OpKind::CNOT:
+    case OpKind::CZ:
+    case OpKind::CS:
+    case OpKind::CSdg:
+    case OpKind::Swap:
+    case OpKind::CNOTIfC:
+    case OpKind::CZIfC:
+      return 2;
+    case OpKind::CCX:
+    case OpKind::CCZ:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
+/// True if the op is a unitary in the Clifford group (ignoring classical
+/// control, which preserves Clifford-ness given classical condition bits).
+constexpr bool is_clifford_unitary(OpKind k) {
+  switch (k) {
+    case OpKind::T:
+    case OpKind::Tdg:
+    case OpKind::CS:
+    case OpKind::CSdg:
+    case OpKind::CCX:
+    case OpKind::CCZ:
+      return false;
+    default:
+      return true;
+  }
+}
+
+constexpr bool is_classically_controlled(OpKind k) {
+  switch (k) {
+    case OpKind::XIfC:
+    case OpKind::ZIfC:
+    case OpKind::SIfC:
+    case OpKind::SdgIfC:
+    case OpKind::CNOTIfC:
+    case OpKind::CZIfC:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr std::string_view name(OpKind k) {
+  switch (k) {
+    case OpKind::PrepZ: return "prep0";
+    case OpKind::PrepX: return "prep+";
+    case OpKind::H: return "H";
+    case OpKind::X: return "X";
+    case OpKind::Y: return "Y";
+    case OpKind::Z: return "Z";
+    case OpKind::S: return "S";
+    case OpKind::Sdg: return "Sdg";
+    case OpKind::T: return "T";
+    case OpKind::Tdg: return "Tdg";
+    case OpKind::CNOT: return "CNOT";
+    case OpKind::CZ: return "CZ";
+    case OpKind::CS: return "CS";
+    case OpKind::CSdg: return "CSdg";
+    case OpKind::Swap: return "SWAP";
+    case OpKind::CCX: return "CCX";
+    case OpKind::CCZ: return "CCZ";
+    case OpKind::MeasureZ: return "MZ";
+    case OpKind::XIfC: return "X?";
+    case OpKind::ZIfC: return "Z?";
+    case OpKind::SIfC: return "S?";
+    case OpKind::SdgIfC: return "Sdg?";
+    case OpKind::CNOTIfC: return "CNOT?";
+    case OpKind::CZIfC: return "CZ?";
+    case OpKind::Idle: return "idle";
+  }
+  return "?";
+}
+
+/// One operation instance.
+struct Op {
+  OpKind kind;
+  std::array<std::uint32_t, 3> q{kNoOperand, kNoOperand, kNoOperand};
+  /// MeasureZ: destination classical slot.  *IfC: classical function id.
+  std::uint32_t carg = kNoOperand;
+};
+
+}  // namespace eqc::circuit

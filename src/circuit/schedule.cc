@@ -1,0 +1,65 @@
+#include "circuit/schedule.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace eqc::circuit {
+
+std::size_t Schedule::total_idle_locations() const {
+  std::size_t n = 0;
+  for (const auto& qs : idle) n += qs.size();
+  return n;
+}
+
+Schedule schedule(const Circuit& circuit) {
+  const std::size_t nq = circuit.num_qubits();
+  const std::size_t kNever = ~std::size_t{0};
+
+  Schedule out;
+  out.first_use.assign(nq, kNever);
+  out.last_use.assign(nq, kNever);
+
+  std::vector<std::size_t> qubit_free(nq, 0);
+  // Classical slots become available one step after the measurement that
+  // writes them; a classically controlled op must come strictly later.
+  std::vector<std::size_t> cbit_ready(circuit.num_cbits(), 0);
+
+  const auto& ops = circuit.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    std::size_t slot = 0;
+    for (int k = 0; k < arity(op.kind); ++k)
+      slot = std::max(slot, qubit_free[op.q[k]]);
+    if (is_classically_controlled(op.kind)) {
+      // Conservative: depends on every classical bit written so far.
+      for (std::size_t c = 0; c < cbit_ready.size(); ++c)
+        slot = std::max(slot, cbit_ready[c]);
+    }
+    if (out.moments.size() <= slot) out.moments.resize(slot + 1);
+    out.moments[slot].push_back(i);
+    for (int k = 0; k < arity(op.kind); ++k) {
+      const std::uint32_t q = op.q[k];
+      qubit_free[q] = slot + 1;
+      if (out.first_use[q] == kNever) out.first_use[q] = slot;
+      out.last_use[q] = slot;
+    }
+    if (op.kind == OpKind::MeasureZ) cbit_ready[op.carg] = slot + 1;
+  }
+
+  // Idle locations: alive (between first and last use) but unused.
+  out.idle.resize(out.moments.size());
+  for (std::size_t t = 0; t < out.moments.size(); ++t) {
+    std::vector<bool> used(nq, false);
+    for (std::size_t idx : out.moments[t])
+      for (int k = 0; k < arity(ops[idx].kind); ++k) used[ops[idx].q[k]] = true;
+    for (std::uint32_t q = 0; q < nq; ++q) {
+      if (used[q]) continue;
+      if (out.first_use[q] == kNever) continue;
+      if (t > out.first_use[q] && t < out.last_use[q]) out.idle[t].push_back(q);
+    }
+  }
+  return out;
+}
+
+}  // namespace eqc::circuit

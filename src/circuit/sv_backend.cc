@@ -1,0 +1,36 @@
+#include "circuit/sv_backend.h"
+
+#include "qsim/gates.h"
+
+namespace eqc::circuit {
+
+void SvBackend::prep_x(std::size_t q) {
+  state_.reset(q, rng_);
+  state_.apply1(q, qsim::gate_h());
+}
+void SvBackend::h(std::size_t q) { state_.apply1(q, qsim::gate_h()); }
+void SvBackend::x(std::size_t q) { state_.apply1(q, qsim::gate_x()); }
+void SvBackend::y(std::size_t q) { state_.apply1(q, qsim::gate_y()); }
+void SvBackend::z(std::size_t q) { state_.apply1(q, qsim::gate_z()); }
+void SvBackend::s(std::size_t q) { state_.apply1(q, qsim::gate_s()); }
+void SvBackend::sdg(std::size_t q) { state_.apply1(q, qsim::gate_sdg()); }
+void SvBackend::t(std::size_t q) { state_.apply1(q, qsim::gate_t()); }
+void SvBackend::tdg(std::size_t q) { state_.apply1(q, qsim::gate_tdg()); }
+
+void SvBackend::cs(std::size_t c, std::size_t t) {
+  state_.apply_controlled({c}, t, qsim::gate_s());
+}
+
+void SvBackend::csdg(std::size_t c, std::size_t t) {
+  state_.apply_controlled({c}, t, qsim::gate_sdg());
+}
+
+void SvBackend::ccx(std::size_t c0, std::size_t c1, std::size_t t) {
+  state_.apply_controlled({c0, c1}, t, qsim::gate_x());
+}
+
+void SvBackend::ccz(std::size_t a, std::size_t b, std::size_t c) {
+  state_.apply_controlled({a, b}, c, qsim::gate_z());
+}
+
+}  // namespace eqc::circuit

@@ -1,0 +1,54 @@
+// State-vector implementation of the Backend interface.
+#pragma once
+
+#include "circuit/backend.h"
+#include "qsim/state_vector.h"
+
+namespace eqc::circuit {
+
+class SvBackend final : public Backend {
+ public:
+  SvBackend(std::size_t num_qubits, Rng rng)
+      : state_(num_qubits), rng_(rng) {}
+  /// Wraps an existing state (moved in).
+  SvBackend(qsim::StateVector state, Rng rng)
+      : state_(std::move(state)), rng_(rng) {}
+
+  qsim::StateVector& state() { return state_; }
+  const qsim::StateVector& state() const { return state_; }
+
+  std::size_t num_qubits() const override { return state_.num_qubits(); }
+
+  void prep_z(std::size_t q) override { state_.reset(q, rng_); }
+  void prep_x(std::size_t q) override;
+  void h(std::size_t q) override;
+  void x(std::size_t q) override;
+  void y(std::size_t q) override;
+  void z(std::size_t q) override;
+  void s(std::size_t q) override;
+  void sdg(std::size_t q) override;
+  void t(std::size_t q) override;
+  void tdg(std::size_t q) override;
+  void cnot(std::size_t c, std::size_t t) override { state_.apply_cnot(c, t); }
+  void cz(std::size_t a, std::size_t b) override { state_.apply_cz(a, b); }
+  void cs(std::size_t c, std::size_t t) override;
+  void csdg(std::size_t c, std::size_t t) override;
+  void swap(std::size_t a, std::size_t b) override { state_.apply_swap(a, b); }
+  void ccx(std::size_t c0, std::size_t c1, std::size_t t) override;
+  void ccz(std::size_t a, std::size_t b, std::size_t c) override;
+
+  bool measure_z(std::size_t q) override { return state_.measure(q, rng_); }
+  double expectation_z(std::size_t q) const override {
+    return state_.expectation_z(q);
+  }
+  void apply_pauli(const pauli::PauliString& p) override {
+    state_.apply_pauli(p);
+  }
+  Rng& rng() override { return rng_; }
+
+ private:
+  qsim::StateVector state_;
+  Rng rng_;
+};
+
+}  // namespace eqc::circuit

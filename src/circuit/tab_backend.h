@@ -1,0 +1,62 @@
+// Stabilizer-tableau implementation of the Backend interface.
+//
+// Non-Clifford handling:
+//  * T / Tdg throw — they are never needed in the circuits this backend runs.
+//  * CCX / CCZ are *lowered*: if at least one participating control is in a
+//    deterministic Z-basis state (the "classical ancilla" regime of the
+//    paper) the gate reduces to identity or CNOT/CZ, which are Clifford.
+//    This is not a hack: the paper's Sec. 5 observation is precisely that
+//    classical-basis controls make these gates classical reversible logic.
+#pragma once
+
+#include "circuit/backend.h"
+#include "stab/tableau.h"
+
+namespace eqc::circuit {
+
+class TabBackend final : public Backend {
+ public:
+  TabBackend(std::size_t num_qubits, Rng rng)
+      : tab_(num_qubits), rng_(rng) {}
+
+  stab::Tableau& tableau() { return tab_; }
+  const stab::Tableau& tableau() const { return tab_; }
+
+  std::size_t num_qubits() const override { return tab_.num_qubits(); }
+
+  void prep_z(std::size_t q) override { tab_.reset(q, rng_); }
+  void prep_x(std::size_t q) override {
+    tab_.reset(q, rng_);
+    tab_.h(q);
+  }
+  void h(std::size_t q) override { tab_.h(q); }
+  void x(std::size_t q) override { tab_.x(q); }
+  void y(std::size_t q) override { tab_.y(q); }
+  void z(std::size_t q) override { tab_.z(q); }
+  void s(std::size_t q) override { tab_.s(q); }
+  void sdg(std::size_t q) override { tab_.sdg(q); }
+  [[noreturn]] void t(std::size_t q) override;
+  [[noreturn]] void tdg(std::size_t q) override;
+  void cnot(std::size_t c, std::size_t t) override { tab_.cnot(c, t); }
+  void cz(std::size_t a, std::size_t b) override { tab_.cz(a, b); }
+  void cs(std::size_t c, std::size_t t) override;
+  void csdg(std::size_t c, std::size_t t) override;
+  void swap(std::size_t a, std::size_t b) override { tab_.swap(a, b); }
+  void ccx(std::size_t c0, std::size_t c1, std::size_t t) override;
+  void ccz(std::size_t a, std::size_t b, std::size_t c) override;
+
+  bool measure_z(std::size_t q) override { return tab_.measure(q, rng_); }
+  double expectation_z(std::size_t q) const override {
+    return tab_.expectation_z(q);
+  }
+  void apply_pauli(const pauli::PauliString& p) override {
+    tab_.apply_pauli(p);
+  }
+  Rng& rng() override { return rng_; }
+
+ private:
+  stab::Tableau tab_;
+  Rng rng_;
+};
+
+}  // namespace eqc::circuit

@@ -1,0 +1,37 @@
+#include "codes/classical_logic.h"
+
+namespace eqc::codes {
+
+void append_majority3(circuit::Circuit& circ, std::uint32_t a, std::uint32_t b,
+                      std::uint32_t c,
+                      std::span<const std::uint32_t> targets) {
+  for (std::uint32_t t : targets) {
+    circ.ccx(a, b, t);
+    circ.ccx(a, c, t);
+    circ.ccx(b, c, t);
+  }
+}
+
+void append_or3_into(circuit::Circuit& circ, std::uint32_t s0,
+                     std::uint32_t s1, std::uint32_t s2, std::uint32_t w0,
+                     std::uint32_t w1, std::uint32_t t) {
+  circ.x(s0);
+  circ.x(s1);
+  circ.x(s2);
+  circ.ccx(s0, s1, w0);   // w0 = !s0 & !s1
+  circ.ccx(w0, s2, w1);   // w1 = !s0 & !s1 & !s2 = NOR(s0,s1,s2)
+  circ.x(t);
+  circ.cnot(w1, t);       // t ^= 1 ^ NOR = OR
+}
+
+void append_fanout(circuit::Circuit& circ, std::uint32_t source,
+                   std::span<const std::uint32_t> targets) {
+  for (std::uint32_t t : targets) circ.cnot(source, t);
+}
+
+void append_and2_into(circuit::Circuit& circ, std::uint32_t a, std::uint32_t b,
+                      std::uint32_t t) {
+  circ.ccx(a, b, t);
+}
+
+}  // namespace eqc::codes

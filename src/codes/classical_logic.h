@@ -1,0 +1,37 @@
+// Reversible classical logic gadgets on "classical ancilla" qubits.
+//
+// The paper's key resource (Secs. 4-5): once data lives in the classical
+// repetition basis {|0...0>, |1...1>}, phase errors on it are harmless and
+// NOT/CNOT/Toffoli act as ordinary reversible logic protected by the
+// repetition code.  These builders emit exactly that logic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "circuit/circuit.h"
+
+namespace eqc::codes {
+
+/// For every t in `targets`: t ^= MAJ(a, b, c).  Three Toffolis per target
+/// (MAJ = ab + ac + bc over GF(2)).  This is the paper's "correct the
+/// outcome using a majority vote, and then copy the result into seven bits".
+void append_majority3(circuit::Circuit& circ, std::uint32_t a, std::uint32_t b,
+                      std::uint32_t c, std::span<const std::uint32_t> targets);
+
+/// t ^= OR(s0, s1, s2).  Flips the s bits (left negated) and dirties the two
+/// work bits w0, w1 (callers discard or reset them); OR = NOT(AND of the
+/// negations).
+void append_or3_into(circuit::Circuit& circ, std::uint32_t s0,
+                     std::uint32_t s1, std::uint32_t s2, std::uint32_t w0,
+                     std::uint32_t w1, std::uint32_t t);
+
+/// For every t in `targets`: t ^= source (classical fan-out via CNOT).
+void append_fanout(circuit::Circuit& circ, std::uint32_t source,
+                   std::span<const std::uint32_t> targets);
+
+/// t ^= AND(a, b) using one Toffoli (convenience wrapper with intent-name).
+void append_and2_into(circuit::Circuit& circ, std::uint32_t a, std::uint32_t b,
+                      std::uint32_t t);
+
+}  // namespace eqc::codes

@@ -1,0 +1,56 @@
+#include "codes/hamming.h"
+
+#include <bit>
+
+#include "common/assert.h"
+
+namespace eqc::codes {
+
+unsigned Hamming74::syndrome(unsigned word) {
+  EQC_EXPECTS(word < 128);
+  unsigned s = 0;
+  for (int j = 0; j < 3; ++j)
+    s |= static_cast<unsigned>(std::popcount(word & kCheckMasks[j]) % 2) << j;
+  return s;
+}
+
+int Hamming74::error_position(unsigned syndrome) {
+  EQC_EXPECTS(syndrome < 8);
+  return syndrome == 0 ? -1 : static_cast<int>(syndrome) - 1;
+}
+
+unsigned Hamming74::correct(unsigned word) {
+  const int pos = error_position(syndrome(word));
+  return pos < 0 ? word : word ^ (1u << pos);
+}
+
+bool Hamming74::is_codeword(unsigned word) { return syndrome(word) == 0; }
+
+std::vector<unsigned> Hamming74::codewords() {
+  std::vector<unsigned> out;
+  for (unsigned w = 0; w < 128; ++w)
+    if (is_codeword(w)) out.push_back(w);
+  return out;
+}
+
+std::vector<unsigned> Hamming74::dual_codewords() {
+  std::vector<unsigned> out;
+  for (unsigned a = 0; a < 8; ++a) {
+    unsigned w = 0;
+    for (int j = 0; j < 3; ++j)
+      if (a & (1u << j)) w ^= kDualBasis[j];
+    out.push_back(w);
+  }
+  return out;
+}
+
+bool majority(const std::vector<bool>& bits) {
+  EQC_EXPECTS(bits.size() % 2 == 1);
+  std::size_t ones = 0;
+  for (bool b : bits) ones += b ? 1 : 0;
+  return ones * 2 > bits.size();
+}
+
+bool word_parity(unsigned word) { return std::popcount(word) % 2 == 1; }
+
+}  // namespace eqc::codes

@@ -1,0 +1,46 @@
+// The classical [7,4,3] Hamming code and the repetition-code majority vote.
+//
+// The Hamming code underpins everything in this library: its parity checks
+// are the Steane code's stabilizers, the syndrome bits of the paper's Fig. 1
+// N-gate circuit, and the classical decoder used on measured codewords.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace eqc::codes {
+
+class Hamming74 {
+ public:
+  static constexpr int kN = 7;
+
+  /// Parity-check row j as a 7-bit mask (bit i set iff position i is
+  /// checked); the column at position i is the binary expansion of i+1.
+  static constexpr std::array<unsigned, 3> kCheckMasks = {0x55, 0x66, 0x78};
+
+  /// Generator masks of the dual [7,3] code C2 = rowspace of the checks
+  /// (identical to kCheckMasks; listed separately for readability where the
+  /// dual-code role is meant).
+  static constexpr std::array<unsigned, 3> kDualBasis = kCheckMasks;
+
+  /// 3-bit syndrome of a 7-bit word; 0 means "no detectable error".
+  static unsigned syndrome(unsigned word);
+  /// Position (0-based) of the single-bit error for a syndrome, -1 if none.
+  static int error_position(unsigned syndrome);
+  /// Single-error correction: flips the position the syndrome points at.
+  static unsigned correct(unsigned word);
+  static bool is_codeword(unsigned word);
+  /// All 16 codewords.
+  static std::vector<unsigned> codewords();
+  /// All 8 words of the dual code C2 (the even-weight subcode).
+  static std::vector<unsigned> dual_codewords();
+};
+
+/// Majority vote over an odd number of bits.
+bool majority(const std::vector<bool>& bits);
+
+/// Parity (XOR) of a word's bits.
+bool word_parity(unsigned word);
+
+}  // namespace eqc::codes

@@ -1,0 +1,122 @@
+#include "codes/reed_muller.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace eqc::codes {
+
+unsigned ReedMuller15::x_mask(int j) {
+  EQC_EXPECTS(j >= 0 && j < 4);
+  unsigned mask = 0;
+  for (unsigned i = 0; i < 15; ++i)
+    if (((i + 1) >> j) & 1) mask |= 1u << i;
+  return mask;
+}
+
+const std::vector<unsigned>& ReedMuller15::z_masks() {
+  static const std::vector<unsigned> masks = [] {
+    std::vector<unsigned> out;
+    for (int j = 0; j < 4; ++j) out.push_back(x_mask(j));
+    for (int j = 0; j < 4; ++j)
+      for (int k = j + 1; k < 4; ++k)
+        out.push_back(x_mask(j) & x_mask(k));
+    return out;
+  }();
+  return masks;
+}
+
+std::vector<unsigned> ReedMuller15::codewords_zero() {
+  std::vector<unsigned> out;
+  for (unsigned a = 0; a < 16; ++a) {
+    unsigned w = 0;
+    for (int j = 0; j < 4; ++j)
+      if (a & (1u << j)) w ^= x_mask(j);
+    out.push_back(w);
+  }
+  return out;
+}
+
+void ReedMuller15::append_encode_zero(circuit::Circuit& c, const RmBlock& b) {
+  // Pivot for mask j: the qubit whose address is exactly 2^j.
+  for (int j = 0; j < 4; ++j) {
+    const unsigned pivot = (1u << j) - 1;  // index of address 2^j
+    c.h(b.q[pivot]);
+  }
+  for (int j = 0; j < 4; ++j) {
+    const unsigned pivot = (1u << j) - 1;
+    const unsigned mask = x_mask(j);
+    for (unsigned i = 0; i < 15; ++i)
+      if ((mask & (1u << i)) && i != pivot) c.cnot(b.q[pivot], b.q[i]);
+  }
+}
+
+void ReedMuller15::append_logical_x(circuit::Circuit& c, const RmBlock& b) {
+  for (auto q : b.q) c.x(q);
+}
+
+void ReedMuller15::append_logical_z(circuit::Circuit& c, const RmBlock& b) {
+  for (auto q : b.q) c.z(q);
+}
+
+void ReedMuller15::append_logical_t(circuit::Circuit& c, const RmBlock& b) {
+  // Bit-wise T^(x)15 realizes logical T^dagger, so logical T is bit-wise
+  // Tdg — the mirror of the Steane code's S/Sdg relationship.
+  for (auto q : b.q) c.tdg(q);
+}
+
+void ReedMuller15::append_logical_tdg(circuit::Circuit& c, const RmBlock& b) {
+  for (auto q : b.q) c.t(q);
+}
+
+void ReedMuller15::append_logical_cnot(circuit::Circuit& c,
+                                       const RmBlock& control,
+                                       const RmBlock& target) {
+  for (std::size_t i = 0; i < kN; ++i) c.cnot(control.q[i], target.q[i]);
+}
+
+pauli::PauliString ReedMuller15::x_stabilizer(std::size_t total,
+                                              const RmBlock& b, int j) {
+  const unsigned mask = x_mask(j);
+  pauli::PauliString p(total);
+  for (unsigned i = 0; i < 15; ++i)
+    if (mask & (1u << i)) p.set(b.q[i], pauli::Pauli::X);
+  return p;
+}
+
+pauli::PauliString ReedMuller15::z_stabilizer(std::size_t total,
+                                              const RmBlock& b, int k) {
+  EQC_EXPECTS(k >= 0 && k < 10);
+  const unsigned mask = z_masks()[static_cast<std::size_t>(k)];
+  pauli::PauliString p(total);
+  for (unsigned i = 0; i < 15; ++i)
+    if (mask & (1u << i)) p.set(b.q[i], pauli::Pauli::Z);
+  return p;
+}
+
+pauli::PauliString ReedMuller15::logical_x_op(std::size_t total,
+                                              const RmBlock& b) {
+  pauli::PauliString p(total);
+  for (auto q : b.q) p.set(q, pauli::Pauli::X);
+  return p;
+}
+
+pauli::PauliString ReedMuller15::logical_z_op(std::size_t total,
+                                              const RmBlock& b) {
+  pauli::PauliString p(total);
+  for (auto q : b.q) p.set(q, pauli::Pauli::Z);
+  return p;
+}
+
+std::vector<cplx> ReedMuller15::encoded_amplitudes(cplx alpha, cplx beta) {
+  std::vector<cplx> amp(std::size_t{1} << 15, cplx{0, 0});
+  const double w = 1.0 / 4.0;  // 16 codewords
+  for (unsigned cw : codewords_zero()) {
+    amp[cw] += alpha * w;
+    amp[cw ^ 0x7FFF] += beta * w;
+  }
+  return amp;
+}
+
+}  // namespace eqc::codes

@@ -1,0 +1,76 @@
+// The [[15,1,3]] quantum Reed-Muller code — the Steane code's mirror image.
+//
+// On the Steane code H, S and CNOT are transversal but T is not: that gap
+// is exactly what the paper's Fig. 3 machinery fills.  On this code the
+// situation is reversed: bit-wise T^(x)15 implements logical T^dagger
+// (so T is "free"), but bit-wise H does NOT preserve the code space — a
+// measurement-free Hadamard would need the paper's special-state + N-gate
+// machinery instead.  Having both codes in the library demonstrates that
+// the paper's contribution is about *completing universal sets* in
+// general, not about one particular missing gate.
+//
+// Construction (CSS): qubits are indexed by the 4-bit addresses 1..15.
+//  * X-type stabilizers: for each address bit j, X on the 8 qubits whose
+//    address has bit j set.
+//  * Z-type stabilizers: the same 4 masks as Z, plus Z on the 4-qubit
+//    intersection masks for each of the 6 address-bit pairs (10 total).
+//  * |0>_L is the uniform superposition over the span of the X masks;
+//    logical X = X^(x)15, logical Z = Z^(x)15.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "pauli/pauli_string.h"
+#include "qsim/state_vector.h"
+
+namespace eqc::codes {
+
+/// The 15 physical qubits of one encoded block.
+struct RmBlock {
+  std::array<std::uint32_t, 15> q;
+
+  static RmBlock contiguous(std::uint32_t base) {
+    RmBlock b;
+    for (std::uint32_t i = 0; i < 15; ++i) b.q[i] = base + i;
+    return b;
+  }
+};
+
+class ReedMuller15 {
+ public:
+  static constexpr std::size_t kN = 15;
+  static constexpr int kDistance = 3;
+
+  /// Address-bit mask j (j in 0..3): bit i set iff address i+1 has bit j.
+  static unsigned x_mask(int j);
+  /// The 10 Z-generator masks: 4 address masks + 6 pair intersections.
+  static const std::vector<unsigned>& z_masks();
+  /// All 16 words of the X-stabilizer span (components of |0>_L).
+  static std::vector<unsigned> codewords_zero();
+
+  // --- circuit builders ----------------------------------------------------
+  static void append_encode_zero(circuit::Circuit& c, const RmBlock& b);
+  static void append_logical_x(circuit::Circuit& c, const RmBlock& b);
+  static void append_logical_z(circuit::Circuit& c, const RmBlock& b);
+  /// Logical T via the TRANSVERSAL property: bit-wise Tdg = logical T.
+  static void append_logical_t(circuit::Circuit& c, const RmBlock& b);
+  static void append_logical_tdg(circuit::Circuit& c, const RmBlock& b);
+  static void append_logical_cnot(circuit::Circuit& c, const RmBlock& control,
+                                  const RmBlock& target);
+
+  // --- operators ------------------------------------------------------------
+  static pauli::PauliString x_stabilizer(std::size_t total, const RmBlock& b,
+                                         int j);
+  static pauli::PauliString z_stabilizer(std::size_t total, const RmBlock& b,
+                                         int k);  ///< k in 0..9
+  static pauli::PauliString logical_x_op(std::size_t total, const RmBlock& b);
+  static pauli::PauliString logical_z_op(std::size_t total, const RmBlock& b);
+
+  // --- dense reference states (15-qubit register) --------------------------
+  static std::vector<cplx> encoded_amplitudes(cplx alpha, cplx beta);
+};
+
+}  // namespace eqc::codes

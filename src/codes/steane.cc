@@ -1,0 +1,180 @@
+#include "codes/steane.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace eqc::codes {
+
+namespace {
+
+// Encoder structure: H on the three pivot qubits (0, 1, 3), then fan each
+// pivot out along its dual-basis generator.  Pivot p_j is the unique
+// position where generator j is the only one with support.
+struct EncoderRow {
+  std::uint32_t pivot;
+  std::array<std::uint32_t, 3> fanout;
+};
+constexpr std::array<EncoderRow, 3> kEncoder = {{
+    {0, {2, 4, 6}},  // 0x55 = {0,2,4,6}
+    {1, {2, 5, 6}},  // 0x66 = {1,2,5,6}
+    {3, {4, 5, 6}},  // 0x78 = {3,4,5,6}
+}};
+
+}  // namespace
+
+bool Steane::decode_logical_bit(unsigned word7) {
+  return word_parity(Hamming74::correct(word7));
+}
+
+void Steane::append_encode_zero(circuit::Circuit& c, const Block& b) {
+  for (const auto& row : kEncoder) c.h(b.q[row.pivot]);
+  for (const auto& row : kEncoder)
+    for (std::uint32_t t : row.fanout) c.cnot(b.q[row.pivot], b.q[t]);
+}
+
+void Steane::append_encode_plus(circuit::Circuit& c, const Block& b) {
+  append_encode_zero(c, b);
+  append_logical_h(c, b);
+}
+
+void Steane::append_encode_plus_direct(circuit::Circuit& c, const Block& b) {
+  // Systematic Hamming [7,4] encoder: data pivots at positions 2,4,5,6,
+  // parity positions 0,1,3.  H on each pivot, then fan out its parities.
+  struct Row {
+    int pivot;
+    std::array<int, 3> parity;  // -1 terminated
+  };
+  static constexpr std::array<Row, 4> kRows = {{
+      {2, {0, 1, -1}},
+      {4, {0, 3, -1}},
+      {5, {1, 3, -1}},
+      {6, {0, 1, 3}},
+  }};
+  for (const auto& row : kRows) c.h(b.q[row.pivot]);
+  for (const auto& row : kRows)
+    for (int p : row.parity)
+      if (p >= 0) c.cnot(b.q[row.pivot], b.q[p]);
+}
+
+void Steane::append_logical_x(circuit::Circuit& c, const Block& b) {
+  for (std::uint32_t q : b.q) c.x(q);
+}
+
+void Steane::append_logical_z(circuit::Circuit& c, const Block& b) {
+  for (std::uint32_t q : b.q) c.z(q);
+}
+
+void Steane::append_logical_h(circuit::Circuit& c, const Block& b) {
+  for (std::uint32_t q : b.q) c.h(q);
+}
+
+void Steane::append_logical_s(circuit::Circuit& c, const Block& b) {
+  // Bit-wise S is logical S^dagger; bit-wise S^dagger is logical S.
+  for (std::uint32_t q : b.q) c.sdg(q);
+}
+
+void Steane::append_logical_sdg(circuit::Circuit& c, const Block& b) {
+  for (std::uint32_t q : b.q) c.s(q);
+}
+
+void Steane::append_logical_cnot(circuit::Circuit& c, const Block& control,
+                                 const Block& target) {
+  for (std::size_t i = 0; i < kN; ++i) c.cnot(control.q[i], target.q[i]);
+}
+
+void Steane::append_logical_cz(circuit::Circuit& c, const Block& a,
+                               const Block& b) {
+  for (std::size_t i = 0; i < kN; ++i) c.cz(a.q[i], b.q[i]);
+}
+
+pauli::PauliString Steane::x_stabilizer(std::size_t total, const Block& b,
+                                        int row) {
+  EQC_EXPECTS(row >= 0 && row < 3);
+  pauli::PauliString p(total);
+  const unsigned mask = Hamming74::kCheckMasks[row];
+  for (std::size_t i = 0; i < kN; ++i)
+    if (mask & (1u << i)) p.set(b.q[i], pauli::Pauli::X);
+  return p;
+}
+
+pauli::PauliString Steane::z_stabilizer(std::size_t total, const Block& b,
+                                        int row) {
+  EQC_EXPECTS(row >= 0 && row < 3);
+  pauli::PauliString p(total);
+  const unsigned mask = Hamming74::kCheckMasks[row];
+  for (std::size_t i = 0; i < kN; ++i)
+    if (mask & (1u << i)) p.set(b.q[i], pauli::Pauli::Z);
+  return p;
+}
+
+pauli::PauliString Steane::logical_x_op(std::size_t total, const Block& b) {
+  pauli::PauliString p(total);
+  for (std::uint32_t q : b.q) p.set(q, pauli::Pauli::X);
+  return p;
+}
+
+pauli::PauliString Steane::logical_z_op(std::size_t total, const Block& b) {
+  pauli::PauliString p(total);
+  for (std::uint32_t q : b.q) p.set(q, pauli::Pauli::Z);
+  return p;
+}
+
+std::vector<cplx> Steane::encoded_amplitudes(cplx alpha, cplx beta) {
+  std::vector<cplx> amp(128, cplx{0, 0});
+  const double w = 1.0 / std::sqrt(8.0);
+  for (unsigned c : Hamming74::dual_codewords()) {
+    amp[c] += alpha * w;
+    amp[c ^ 0x7F] += beta * w;
+  }
+  return amp;
+}
+
+qsim::StateVector Steane::logical_zero() {
+  return qsim::StateVector::from_amplitudes(encoded_amplitudes(1.0, 0.0));
+}
+
+qsim::StateVector Steane::logical_one() {
+  return qsim::StateVector::from_amplitudes(encoded_amplitudes(0.0, 1.0));
+}
+
+void Steane::perfect_correct(stab::Tableau& tab, const Block& b, Rng& rng) {
+  const std::size_t total = tab.num_qubits();
+  // Z-type checks detect X errors.
+  unsigned sz = 0;
+  for (int row = 0; row < 3; ++row)
+    if (tab.measure_pauli(z_stabilizer(total, b, row), rng)) sz |= 1u << row;
+  int pos = Hamming74::error_position(sz);
+  if (pos >= 0) {
+    pauli::PauliString fix(total);
+    fix.set(b.q[pos], pauli::Pauli::X);
+    tab.apply_pauli(fix);
+  }
+  // X-type checks detect Z errors.
+  unsigned sx = 0;
+  for (int row = 0; row < 3; ++row)
+    if (tab.measure_pauli(x_stabilizer(total, b, row), rng)) sx |= 1u << row;
+  pos = Hamming74::error_position(sx);
+  if (pos >= 0) {
+    pauli::PauliString fix(total);
+    fix.set(b.q[pos], pauli::Pauli::Z);
+    tab.apply_pauli(fix);
+  }
+}
+
+bool Steane::block_in_codespace(const stab::Tableau& tab, const Block& b) {
+  const std::size_t total = tab.num_qubits();
+  for (int row = 0; row < 3; ++row) {
+    if (tab.expectation_pauli(z_stabilizer(total, b, row)) != 1.0) return false;
+    if (tab.expectation_pauli(x_stabilizer(total, b, row)) != 1.0) return false;
+  }
+  return true;
+}
+
+double Steane::logical_z_expectation(const stab::Tableau& tab,
+                                     const Block& b) {
+  return tab.expectation_pauli(logical_z_op(tab.num_qubits(), b));
+}
+
+}  // namespace eqc::codes

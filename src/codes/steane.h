@@ -1,0 +1,102 @@
+// The Steane [[7,1,3]] CSS code.
+//
+// This is the quantum code the paper builds its constructions on ("if the
+// 7-bit CSS code is used to encode data ... a measurement will yield a
+// (possibly corrupted) codeword of a classical 7-bit Hamming code").
+//
+// Conventions:
+//  * |0>_L = (1/sqrt 8) sum_{c in C2} |c>, with C2 the dual [7,3] code;
+//  * |1>_L = X^x7 |0>_L (components c ^ 1111111);
+//  * logical X = X^x7, logical Z = Z^x7, logical H = H^x7 (self-dual CSS);
+//  * bit-wise S implements logical S^dagger, so logical S = (S^dagger)^x7
+//    — exactly the paper's remark that "the bit-wise sigma_z^{1/2} yields a
+//    sigma_z^{-1/2} logical gate".
+//  * T (= sigma_z^{1/4}) is NOT transversal; providing it without
+//    measurement is the subject of the paper's Fig. 3.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "codes/hamming.h"
+#include "pauli/pauli_string.h"
+#include "qsim/state_vector.h"
+#include "stab/tableau.h"
+
+namespace eqc::codes {
+
+/// The 7 physical qubits of one encoded block, as indices into a register.
+struct Block {
+  std::array<std::uint32_t, 7> q;
+
+  static Block contiguous(std::uint32_t base) {
+    Block b;
+    for (std::uint32_t i = 0; i < 7; ++i) b.q[i] = base + i;
+    return b;
+  }
+};
+
+class Steane {
+ public:
+  static constexpr std::size_t kN = 7;
+  static constexpr int kDistance = 3;
+  static constexpr int kCorrectable = 1;
+
+  // --- classical decoding of Z-basis readouts ---------------------------
+  /// Logical bit carried by a (possibly singly-corrupted) 7-bit readout:
+  /// Hamming-correct, then take the parity.
+  static bool decode_logical_bit(unsigned word7);
+
+  // --- circuit builders ---------------------------------------------------
+  static void append_encode_zero(circuit::Circuit& c, const Block& b);
+  static void append_encode_plus(circuit::Circuit& c, const Block& b);
+  /// |+>_L prepared directly (uniform superposition over all 16 Hamming
+  /// codewords) WITHOUT a trailing transversal-H layer.  Unlike
+  /// encode_plus, encoder X-fault bursts stay X-type (they would become
+  /// multi-Z through the final H layer); note that Z faults on the
+  /// multi-target parity qubits can still back-propagate to several
+  /// pivots, so this encoder alone is NOT a fault-tolerant ancilla
+  /// factory — see ftqc/recovery.cc's prepare_plus_ancilla for the full
+  /// burst-repaired construction.
+  static void append_encode_plus_direct(circuit::Circuit& c, const Block& b);
+  static void append_logical_x(circuit::Circuit& c, const Block& b);
+  static void append_logical_z(circuit::Circuit& c, const Block& b);
+  static void append_logical_h(circuit::Circuit& c, const Block& b);
+  static void append_logical_s(circuit::Circuit& c, const Block& b);
+  static void append_logical_sdg(circuit::Circuit& c, const Block& b);
+  static void append_logical_cnot(circuit::Circuit& c, const Block& control,
+                                  const Block& target);
+  static void append_logical_cz(circuit::Circuit& c, const Block& a,
+                                const Block& b);
+
+  // --- stabilizers and logical operators as Pauli strings -----------------
+  /// X-type generator `row` (0..2) on a `total`-qubit register.
+  static pauli::PauliString x_stabilizer(std::size_t total, const Block& b,
+                                         int row);
+  static pauli::PauliString z_stabilizer(std::size_t total, const Block& b,
+                                         int row);
+  static pauli::PauliString logical_x_op(std::size_t total, const Block& b);
+  static pauli::PauliString logical_z_op(std::size_t total, const Block& b);
+
+  // --- dense reference states (7-qubit register, block-local) -------------
+  static qsim::StateVector logical_zero();
+  static qsim::StateVector logical_one();
+  /// alpha |0>_L + beta |1>_L (amplitudes normalized by the caller's input).
+  static std::vector<cplx> encoded_amplitudes(cplx alpha, cplx beta);
+
+  // --- verification-only decoding (not part of any protocol) -------------
+  /// One round of ideal (noiseless) error correction applied directly to a
+  /// tableau: measures all 6 stabilizer generators and applies the lookup
+  /// correction.
+  static void perfect_correct(stab::Tableau& tab, const Block& b, Rng& rng);
+  /// True iff all 6 generators stabilize the tableau state.
+  static bool block_in_codespace(const stab::Tableau& tab, const Block& b);
+  /// Logical Z eigenvalue after perfect correction: +1 (|0>_L), -1 (|1>_L),
+  /// 0 (superposition).
+  static double logical_z_expectation(const stab::Tableau& tab,
+                                      const Block& b);
+};
+
+}  // namespace eqc::codes

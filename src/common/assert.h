@@ -1,0 +1,49 @@
+// Contract-checking macros (C++ Core Guidelines I.6/I.8 style).
+//
+// EQC_EXPECTS  — precondition on a public API
+// EQC_ENSURES  — postcondition
+// EQC_CHECK    — internal invariant
+//
+// All three are always on (the library is a research instrument; silent
+// corruption is worse than the nanoseconds saved) and throw
+// eqc::ContractViolation so tests can assert on misuse.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace eqc {
+
+/// Thrown when a precondition, postcondition or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace eqc
+
+#define EQC_EXPECTS(cond)                                                   \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::eqc::detail::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define EQC_ENSURES(cond)                                                    \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::eqc::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define EQC_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::eqc::detail::contract_fail("invariant", #cond, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,124 @@
+#include "common/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace eqc {
+
+namespace {
+
+template <typename M>
+bool unitary_impl(const M& m, std::size_t n, double tol) {
+  // U is unitary iff U * U^dagger == I.
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      cplx sum = 0;
+      for (std::size_t k = 0; k < n; ++k) sum += m(r, k) * std::conj(m(c, k));
+      const cplx want = (r == c) ? cplx{1, 0} : cplx{0, 0};
+      if (std::abs(sum - want) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Mat2 Mat2::identity() {
+  Mat2 m;
+  m(0, 0) = 1;
+  m(1, 1) = 1;
+  return m;
+}
+
+Mat2 Mat2::adjoint() const {
+  Mat2 m;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c) m(r, c) = std::conj((*this)(c, r));
+  return m;
+}
+
+bool Mat2::is_unitary(double tol) const { return unitary_impl(*this, 2, tol); }
+
+std::string Mat2::to_string() const {
+  std::ostringstream os;
+  os << "[[" << a[0] << ", " << a[1] << "], [" << a[2] << ", " << a[3] << "]]";
+  return os.str();
+}
+
+Mat2 operator*(const Mat2& lhs, const Mat2& rhs) {
+  Mat2 out;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      out(r, c) = lhs(r, 0) * rhs(0, c) + lhs(r, 1) * rhs(1, c);
+  return out;
+}
+
+Mat2 operator*(cplx scalar, const Mat2& m) {
+  Mat2 out = m;
+  for (auto& x : out.a) x *= scalar;
+  return out;
+}
+
+bool approx_equal(const Mat2& lhs, const Mat2& rhs, double tol) {
+  for (std::size_t i = 0; i < 4; ++i)
+    if (std::abs(lhs.a[i] - rhs.a[i]) > tol) return false;
+  return true;
+}
+
+bool approx_equal_up_to_phase(const Mat2& lhs, const Mat2& rhs, double tol) {
+  // Find the first entry of rhs with non-negligible magnitude and use it to
+  // fix the relative phase.
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (std::abs(rhs.a[i]) > tol) {
+      if (std::abs(lhs.a[i]) < tol) return false;
+      const cplx phase = lhs.a[i] / rhs.a[i];
+      if (std::abs(std::abs(phase) - 1.0) > tol) return false;
+      return approx_equal(lhs, phase * rhs, tol);
+    }
+  }
+  return approx_equal(lhs, rhs, tol);  // rhs is (numerically) zero
+}
+
+Mat4 Mat4::identity() {
+  Mat4 m;
+  for (std::size_t i = 0; i < 4; ++i) m(i, i) = 1;
+  return m;
+}
+
+Mat4 Mat4::adjoint() const {
+  Mat4 m;
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) m(r, c) = std::conj((*this)(c, r));
+  return m;
+}
+
+bool Mat4::is_unitary(double tol) const { return unitary_impl(*this, 4, tol); }
+
+Mat4 operator*(const Mat4& lhs, const Mat4& rhs) {
+  Mat4 out;
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) {
+      cplx sum = 0;
+      for (std::size_t k = 0; k < 4; ++k) sum += lhs(r, k) * rhs(k, c);
+      out(r, c) = sum;
+    }
+  return out;
+}
+
+bool approx_equal(const Mat4& lhs, const Mat4& rhs, double tol) {
+  for (std::size_t i = 0; i < 16; ++i)
+    if (std::abs(lhs.a[i] - rhs.a[i]) > tol) return false;
+  return true;
+}
+
+Mat4 kron(const Mat2& a, const Mat2& b) {
+  Mat4 out;
+  for (std::size_t ar = 0; ar < 2; ++ar)
+    for (std::size_t ac = 0; ac < 2; ++ac)
+      for (std::size_t br = 0; br < 2; ++br)
+        for (std::size_t bc = 0; bc < 2; ++bc)
+          out(2 * ar + br, 2 * ac + bc) = a(ar, ac) * b(br, bc);
+  return out;
+}
+
+}  // namespace eqc

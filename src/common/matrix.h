@@ -1,0 +1,57 @@
+// Small dense complex matrices used to describe single- and two-qubit gates.
+//
+// These are value types with fixed dimension 2 or 4; the state-vector
+// simulator consumes them directly.  For anything larger the library works
+// at the circuit level, never with explicit matrices.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstddef>
+#include <string>
+
+namespace eqc {
+
+using cplx = std::complex<double>;
+
+inline constexpr double kTolerance = 1e-9;
+
+/// Dense complex 2x2 matrix (row-major).
+struct Mat2 {
+  std::array<cplx, 4> a{};
+
+  cplx& operator()(std::size_t r, std::size_t c) { return a[2 * r + c]; }
+  const cplx& operator()(std::size_t r, std::size_t c) const { return a[2 * r + c]; }
+
+  static Mat2 identity();
+  Mat2 adjoint() const;
+  bool is_unitary(double tol = kTolerance) const;
+  std::string to_string() const;
+};
+
+Mat2 operator*(const Mat2& lhs, const Mat2& rhs);
+Mat2 operator*(cplx scalar, const Mat2& m);
+bool approx_equal(const Mat2& lhs, const Mat2& rhs, double tol = kTolerance);
+/// Equal up to a global phase e^{i theta}.
+bool approx_equal_up_to_phase(const Mat2& lhs, const Mat2& rhs,
+                              double tol = kTolerance);
+
+/// Dense complex 4x4 matrix (row-major), for two-qubit gates.
+struct Mat4 {
+  std::array<cplx, 16> a{};
+
+  cplx& operator()(std::size_t r, std::size_t c) { return a[4 * r + c]; }
+  const cplx& operator()(std::size_t r, std::size_t c) const { return a[4 * r + c]; }
+
+  static Mat4 identity();
+  Mat4 adjoint() const;
+  bool is_unitary(double tol = kTolerance) const;
+};
+
+Mat4 operator*(const Mat4& lhs, const Mat4& rhs);
+bool approx_equal(const Mat4& lhs, const Mat4& rhs, double tol = kTolerance);
+
+/// Kronecker product a (x) b: qubit of `a` is the more significant index.
+Mat4 kron(const Mat2& a, const Mat2& b);
+
+}  // namespace eqc

@@ -1,0 +1,66 @@
+#include "common/rng.h"
+
+#include "common/assert.h"
+
+namespace eqc {
+
+std::uint64_t split_mix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = split_mix64(sm);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 top bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  EQC_EXPECTS(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+Rng Rng::split() {
+  // A fresh seed derived from two outputs keeps the child stream decorrelated
+  // from the parent's subsequent output.
+  const std::uint64_t a = (*this)();
+  const std::uint64_t b = (*this)();
+  return Rng(a ^ rotl(b, 29) ^ 0xD1B54A32D192ED03ULL);
+}
+
+}  // namespace eqc

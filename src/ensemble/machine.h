@@ -1,0 +1,125 @@
+// The ensemble (bulk / NMR) quantum computer model.
+//
+// "Many identical molecules are used in parallel ... Qubits in a single
+// computer cannot be measured, and only expectation values of each
+// particular bit over all the computers can be read out."
+//
+// EnsembleMachine enforces exactly that interface:
+//  * programs are applied to every computer in the ensemble;
+//  * programs may not contain measurements or classically-conditioned
+//    operations (there is no per-computer classical information to condition
+//    on) — run() rejects such circuits;
+//  * the ONLY readout is readout_z(q): the ensemble average of <Z_q>,
+//    optionally with the shot noise of a finite ensemble.
+//
+// Two operating modes:
+//  * Exact (num_computers == 0): a single trajectory; readout returns the
+//    exact expectation value — the macroscopic-ensemble limit; noiseless.
+//  * Sampled: M independent trajectories, each with its own noise stream —
+//    decoherence makes the molecules' states differ, exactly as in NMR.
+//
+// Verification-only access to individual computers lives in the `debug`
+// namespace and is *not* part of the model; protocols must not use it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "noise/model.h"
+#include "qsim/state_vector.h"
+#include "stab/tableau.h"
+
+namespace eqc::ensemble {
+
+class EnsembleMachine {
+ public:
+  /// num_computers == 0 selects the exact (infinite-ensemble) mode.
+  EnsembleMachine(std::size_t num_qubits, std::size_t num_computers,
+                  std::uint64_t seed);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  std::size_t num_computers() const { return trajectories_.size(); }
+  bool exact_mode() const { return trajectories_.size() == 1 && !sampled_; }
+
+  /// Applies `circuit` to every computer.  Throws if the circuit contains
+  /// MeasureZ or classically-conditioned ops (not expressible in the model).
+  /// `noise` (optional) is sampled independently per computer.
+  void run(const circuit::Circuit& circuit,
+           const noise::NoiseModel* noise = nullptr);
+
+  /// Applies an arbitrary unitary program (oracle-style) to every computer.
+  /// The callable must be deterministic and measurement-free.
+  void apply(const std::function<void(qsim::StateVector&)>& program);
+
+  /// Pseudo-pure-state polarization factor: room-temperature NMR prepares
+  /// only an epsilon-weight pure deviation on top of the identity, so every
+  /// signal is scaled by epsilon (Gershenfeld-Chuang; for n spins epsilon
+  /// shrinks like n 2^{-n}, the famous bulk-NMR scalability limit).
+  /// Default 1.0 = ideal ensemble.
+  void set_polarization(double epsilon);
+  double polarization() const { return polarization_; }
+
+  /// THE readout: ensemble average of <Z_q>, scaled by the polarization.
+  /// With `shot_sampled` true each computer contributes a sampled +-1
+  /// (finite-ensemble shot noise); otherwise each contributes its exact
+  /// per-trajectory expectation.
+  double readout_z(std::size_t qubit, bool shot_sampled = false);
+
+  /// Convenience: readout of all qubits.
+  std::vector<double> readout_all(bool shot_sampled = false);
+
+ private:
+  friend struct debug;
+  std::size_t num_qubits_;
+  bool sampled_;
+  std::vector<qsim::StateVector> trajectories_;
+  Rng rng_;
+  double polarization_ = 1.0;
+};
+
+/// Verification-only hooks (the "God view" no NMR spectrometer has).
+struct debug {
+  static const qsim::StateVector& trajectory(const EnsembleMachine& m,
+                                             std::size_t i) {
+    return m.trajectories_.at(i);
+  }
+};
+
+/// Clifford-only ensemble machine: each computer is a stabilizer tableau,
+/// so ensembles of *encoded* computers (50+ qubits) are cheap.  Same model
+/// restrictions as EnsembleMachine: measurement-free programs only,
+/// expectation-value readout only.  Non-Clifford ops are accepted exactly
+/// when their controls are classical (the paper's classical-ancilla
+/// regime); a genuine non-Clifford program throws.
+class CliffordEnsembleMachine {
+ public:
+  CliffordEnsembleMachine(std::size_t num_qubits, std::size_t num_computers,
+                          std::uint64_t seed);
+
+  std::size_t num_qubits() const { return num_qubits_; }
+  std::size_t num_computers() const { return trajectories_.size(); }
+
+  /// Applies `circuit` to every computer (noise sampled independently).
+  void run(const circuit::Circuit& circuit,
+           const noise::NoiseModel* noise = nullptr);
+
+  /// Ensemble average of <Z_q>: each computer contributes its exact -1/0/+1
+  /// expectation (or a sampled +-1 with `shot_sampled`).
+  double readout_z(std::size_t qubit, bool shot_sampled = false);
+  std::vector<double> readout_all(bool shot_sampled = false);
+
+  /// Verification-only access to one computer's tableau.
+  const stab::Tableau& debug_trajectory(std::size_t i) const {
+    return trajectories_.at(i);
+  }
+
+ private:
+  std::size_t num_qubits_;
+  std::vector<stab::Tableau> trajectories_;
+  Rng rng_;
+};
+
+}  // namespace eqc::ensemble

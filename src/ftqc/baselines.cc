@@ -1,0 +1,95 @@
+#include "ftqc/baselines.h"
+
+#include "codes/hamming.h"
+#include "common/assert.h"
+
+namespace eqc::ftqc {
+
+std::uint32_t append_measured_logical_readout(circuit::Circuit& circ,
+                                              const codes::Block& block) {
+  std::array<std::uint32_t, 7> slots;
+  for (int i = 0; i < 7; ++i) slots[i] = circ.measure_z(block.q[i]);
+  return circ.add_classical_func([slots](const std::vector<bool>& bits) {
+    unsigned word = 0;
+    for (int i = 0; i < 7; ++i)
+      if (bits[slots[i]]) word |= 1u << i;
+    return codes::Steane::decode_logical_bit(word);
+  });
+}
+
+void append_measured_t_gadget(circuit::Circuit& circ, const codes::Block& data,
+                              const codes::Block& special) {
+  codes::Steane::append_logical_cnot(circ, data, special);
+  const auto logical = append_measured_logical_readout(circ, special);
+  // Conditioned logical S = bit-wise Sdg.
+  for (int i = 0; i < 7; ++i) circ.sdg_if(logical, data.q[i]);
+}
+
+void append_measured_verification_ec(circuit::Circuit& circ,
+                                     const codes::Block& block,
+                                     std::uint32_t ancilla) {
+  std::array<std::uint32_t, 3> sz, sx;
+  for (int row = 0; row < 3; ++row) {
+    const unsigned mask = codes::Hamming74::kCheckMasks[row];
+    // Z-type check (simple, non-FT extraction — verification is noiseless).
+    circ.prep_z(ancilla);
+    for (int i = 0; i < 7; ++i)
+      if (mask & (1u << i)) circ.cnot(block.q[i], ancilla);
+    sz[row] = circ.measure_z(ancilla);
+    // X-type check.
+    circ.prep_z(ancilla);
+    circ.h(ancilla);
+    for (int i = 0; i < 7; ++i)
+      if (mask & (1u << i)) circ.cnot(ancilla, block.q[i]);
+    circ.h(ancilla);
+    sx[row] = circ.measure_z(ancilla);
+  }
+  for (int i = 0; i < 7; ++i) {
+    const unsigned pattern = static_cast<unsigned>(i + 1);
+    const auto fz =
+        circ.add_classical_func([sz, pattern](const std::vector<bool>& bits) {
+          unsigned s = 0;
+          for (int row = 0; row < 3; ++row)
+            if (bits[sz[row]]) s |= 1u << row;
+          return s == pattern;
+        });
+    circ.x_if(fz, block.q[i]);
+    const auto fx =
+        circ.add_classical_func([sx, pattern](const std::vector<bool>& bits) {
+          unsigned s = 0;
+          for (int row = 0; row < 3; ++row)
+            if (bits[sx[row]]) s |= 1u << row;
+          return s == pattern;
+        });
+    circ.z_if(fx, block.q[i]);
+  }
+}
+
+void append_measured_toffoli_gadget_bare(circuit::Circuit& circ,
+                                         const BareToffoliRegs& r) {
+  circ.cnot(r.a, r.x);
+  circ.cnot(r.b, r.y);
+  circ.cnot(r.z, r.c);
+  circ.h(r.z);
+
+  const auto m1 = circ.measure_z(r.x);
+  const auto m2 = circ.measure_z(r.y);
+  const auto m3 = circ.measure_z(r.z);
+  const auto f1 = circ.cbit_func(m1);
+  const auto f2 = circ.cbit_func(m2);
+  const auto f3 = circ.cbit_func(m3);
+  const auto f12 = circ.add_classical_func(
+      [m1, m2](const std::vector<bool>& bits) { return bits[m1] && bits[m2]; });
+
+  // Phase corrections first (pre-correction A, B, C values), then values,
+  // then cross terms — mirroring the measurement-free gadget exactly.
+  circ.z_if(f3, r.c);
+  circ.cz_if(f3, r.a, r.b);
+  circ.x_if(f1, r.a);
+  circ.x_if(f2, r.b);
+  circ.cnot_if(f1, r.b, r.c);
+  circ.cnot_if(f2, r.a, r.c);
+  circ.x_if(f12, r.c);
+}
+
+}  // namespace eqc::ftqc

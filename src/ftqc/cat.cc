@@ -1,0 +1,32 @@
+#include "ftqc/cat.h"
+
+#include "common/assert.h"
+
+namespace eqc::ftqc {
+
+void append_cat_prep(circuit::Circuit& circ,
+                     std::span<const std::uint32_t> cat) {
+  EQC_EXPECTS(cat.size() >= 2);
+  for (auto q : cat) circ.prep_z(q);
+  circ.h(cat[0]);
+  for (std::size_t k = 1; k < cat.size(); ++k) circ.cnot(cat[0], cat[k]);
+}
+
+void append_verified_cat(circuit::Circuit& circ,
+                         std::span<const std::uint32_t> cat,
+                         std::span<const std::uint32_t> verify) {
+  EQC_EXPECTS(verify.size() + 1 == cat.size());
+  append_cat_prep(circ, cat);
+  // v_j = cat_0 XOR cat_j is 0 on a good cat (in both branches); any X
+  // pattern e makes it e_0 XOR e_j.  Repairing cat_j by v_j maps e to
+  // e_0 * X^{(x)n}, which stabilizes the cat.
+  for (std::size_t j = 1; j < cat.size(); ++j) {
+    const auto v = verify[j - 1];
+    circ.prep_z(v);
+    circ.cnot(cat[0], v);
+    circ.cnot(cat[j], v);
+    circ.cnot(v, cat[j]);
+  }
+}
+
+}  // namespace eqc::ftqc

@@ -1,0 +1,36 @@
+// Measurement-free cat-state preparation with verification.
+//
+// An unverified cat fan-out is not fault tolerant: one X fault on the
+// fan-out source mid-preparation flips a whole suffix of the cat, and when
+// the cat later controls transversal couplings it deposits a multi-qubit
+// error into the data.  Shor's original scheme measures verification bits
+// and re-prepares on failure — a measurement.
+//
+// Here the verification is measurement-free, in the paper's own style:
+// the pairwise agreement bits v_j = cat_0 XOR cat_j are *classical* (they
+// are 0 on both cat branches and are deterministically flipped by X
+// errors), so they can be computed onto classical ancilla bits and used
+// directly as controls of the repair X(cat_j).  For ANY X-error pattern e
+// this maps e -> e_0 * (1...1), which acts trivially on the cat.  No
+// outcome is ever observed and no re-preparation loop is needed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "circuit/circuit.h"
+
+namespace eqc::ftqc {
+
+/// Plain (unverified) cat on `cat`: H + fan-out CNOTs.  Ablation baseline.
+void append_cat_prep(circuit::Circuit& circ,
+                     std::span<const std::uint32_t> cat);
+
+/// Verified cat: prep + measurement-free verification-and-repair.
+/// `verify` must hold cat.size()-1 classical ancilla bits (re-prepared
+/// here, left dirty).
+void append_verified_cat(circuit::Circuit& circ,
+                         std::span<const std::uint32_t> cat,
+                         std::span<const std::uint32_t> verify);
+
+}  // namespace eqc::ftqc

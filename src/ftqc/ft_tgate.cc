@@ -1,0 +1,31 @@
+#include "ftqc/ft_tgate.h"
+
+#include "common/assert.h"
+
+namespace eqc::ftqc {
+
+void append_ft_t_gadget(circuit::Circuit& circ, const TGateRegisters& regs,
+                        const NGateOptions& options) {
+  EQC_EXPECTS(regs.control.size() == codes::Steane::kN);
+
+  // 1. Transversal CNOT: data block controls, special block targets.
+  codes::Steane::append_logical_cnot(circ, regs.data, regs.special);
+
+  // 2. Measurement replacement: N copies the special block's logical value
+  //    onto the classical control register.
+  append_ngate(circ, regs.special, regs.control, regs.n_anc, options);
+
+  // 3. Classically controlled logical S on the data: bit-wise CSdg
+  //    (bit-wise Sdg = logical S on the Steane code).
+  for (std::size_t i = 0; i < codes::Steane::kN; ++i)
+    circ.csdg(regs.control[i], regs.data.q[i]);
+}
+
+void append_ft_t_gate(circuit::Circuit& circ, const TGateRegisters& regs,
+                      const SpecialStateAncillas& ss_anc,
+                      const NGateOptions& options) {
+  append_t_state_prep(circ, regs.special, ss_anc, options.repetitions);
+  append_ft_t_gadget(circ, regs, options);
+}
+
+}  // namespace eqc::ftqc

@@ -1,0 +1,45 @@
+// Measurement-free fault-tolerant sigma_z^{1/4} (T) gate — the paper's
+// Fig. 3, after [Boykin-Mor-Pulver-Roychowdhury-Vatan FOCS'99].
+//
+// Gadget (all operations bit-wise / transversal on the Steane code):
+//   1. transversal CNOT from the data block onto the special block holding
+//      |psi_0> = (|0>_L + e^{i pi/4}|1>_L)/sqrt2;
+//   2. the N gate copies the special block's logical value onto a classical
+//      control register (this replaces the measurement of the original
+//      protocol);
+//   3. classical-register-controlled logical S on the data (bit-wise CSdg,
+//      since bit-wise Sdg realizes logical S on the Steane code).
+//
+// The catch-22 the paper resolves: deferring the measurement naively would
+// need Lambda(S_L) controlled by a *quantum* codeword, which is not in the
+// directly fault-tolerant set; controlling bit-wise from a *classical*
+// repetition register is safe because phase errors never flow from control
+// to target.
+#pragma once
+
+#include "circuit/circuit.h"
+#include "codes/steane.h"
+#include "ftqc/ngate.h"
+#include "ftqc/special_state.h"
+
+namespace eqc::ftqc {
+
+struct TGateRegisters {
+  codes::Block data;
+  codes::Block special;  ///< must hold |psi_0> when the gadget runs
+  NGateAncillas n_anc;
+  std::vector<std::uint32_t> control;  ///< classical register, width 7
+};
+
+/// Appends the Fig. 3 gadget (assumes |psi_0> is already on `special`).
+void append_ft_t_gadget(circuit::Circuit& circ, const TGateRegisters& regs,
+                        const NGateOptions& options = {});
+
+/// Gadget + in-line special-state preparation (the full measurement-free
+/// T gate from |0>_L ancillas).  `ss_anc.cat/control` may reuse qubits that
+/// are re-prepared later; all registers must be disjoint.
+void append_ft_t_gate(circuit::Circuit& circ, const TGateRegisters& regs,
+                      const SpecialStateAncillas& ss_anc,
+                      const NGateOptions& options = {});
+
+}  // namespace eqc::ftqc

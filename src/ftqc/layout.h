@@ -1,0 +1,40 @@
+// Register layout helper: hands out qubit indices for blocks, classical
+// registers and single ancillas, so circuit builders can be composed without
+// hard-coding qubit numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/steane.h"
+#include "common/assert.h"
+
+namespace eqc::ftqc {
+
+class Layout {
+ public:
+  /// Allocates one qubit.
+  std::uint32_t bit() { return next_++; }
+
+  /// Allocates `n` consecutive qubits.
+  std::vector<std::uint32_t> reg(std::size_t n) {
+    std::vector<std::uint32_t> out(n);
+    for (auto& q : out) q = next_++;
+    return out;
+  }
+
+  /// Allocates a 7-qubit code block.
+  codes::Block block() {
+    const auto b = codes::Block::contiguous(next_);
+    next_ += 7;
+    return b;
+  }
+
+  /// Total number of qubits handed out so far.
+  std::size_t total() const { return next_; }
+
+ private:
+  std::uint32_t next_ = 0;
+};
+
+}  // namespace eqc::ftqc

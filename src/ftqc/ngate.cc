@@ -1,0 +1,104 @@
+#include "ftqc/ngate.h"
+
+#include "codes/classical_logic.h"
+#include "codes/hamming.h"
+#include "common/assert.h"
+#include "ftqc/layout.h"
+
+namespace eqc::ftqc {
+
+void append_n1(circuit::Circuit& circ, const codes::Block& source,
+               std::uint32_t target,
+               const std::array<std::uint32_t, 3>& syndrome,
+               const std::array<std::uint32_t, 2>& work,
+               bool syndrome_check) {
+  circ.prep_z(target);
+  if (syndrome_check) {
+    for (auto s : syndrome) circ.prep_z(s);
+    for (auto w : work) circ.prep_z(w);
+    // Hamming parity checks of the quantum ancilla into the syndrome bits.
+    for (int row = 0; row < 3; ++row) {
+      const unsigned mask = codes::Hamming74::kCheckMasks[row];
+      for (int i = 0; i < 7; ++i)
+        if (mask & (1u << i)) circ.cnot(source.q[i], syndrome[row]);
+    }
+  }
+  // Parity of the whole block = logical Z value (corrected below).
+  for (int i = 0; i < 7; ++i) circ.cnot(source.q[i], target);
+  if (syndrome_check) {
+    // b ^= OR(s): a single pre-existing bit error flips the block parity
+    // *and* raises a non-zero syndrome, so the two cancel.
+    codes::append_or3_into(circ, syndrome[0], syndrome[1], syndrome[2],
+                           work[0], work[1], target);
+  }
+}
+
+namespace {
+
+// target ^= MAJ(copies[0..4]) via an independent 3-bit population counter —
+// no intermediate bit is shared between output bits, so even a correlated
+// multi-qubit gate fault damages at most one output bit and one copy.
+void append_majority5_into(circuit::Circuit& circ,
+                           std::span<const std::uint32_t> copies,
+                           const std::array<std::uint32_t, 5>& scratch,
+                           std::uint32_t target) {
+  const auto c0 = scratch[0], c1 = scratch[1], c2 = scratch[2];
+  const auto w = scratch[3], w2 = scratch[4];
+  for (auto q : scratch) circ.prep_z(q);
+  for (int r = 0; r < 5; ++r) {
+    const auto b = copies[r];
+    // counter += b  (3-bit ripple increment, controlled on b).
+    circ.ccx(c1, c0, w);
+    circ.ccx(b, w, c2);
+    circ.ccx(c1, c0, w);  // uncompute the carry conjunction
+    circ.ccx(b, c0, c1);
+    circ.cnot(b, c0);
+  }
+  // MAJ = count >= 3 = c2 OR (c1 AND c0).
+  circ.ccx(c1, c0, w2);
+  circ.x(c2);
+  circ.x(w2);
+  circ.ccx(c2, w2, target);  // target ^= NOR(c2, w2)
+  circ.x(target);            // target ^= 1  => target ^= OR(c2, w2)
+  circ.x(c2);
+  circ.x(w2);
+}
+
+}  // namespace
+
+void append_ngate(circuit::Circuit& circ, const codes::Block& source,
+                  std::span<const std::uint32_t> out, const NGateAncillas& anc,
+                  const NGateOptions& options) {
+  EQC_EXPECTS(options.repetitions == 1 || options.repetitions == 3 ||
+              options.repetitions == 5);
+  EQC_EXPECTS(anc.copies.size() >= static_cast<std::size_t>(options.repetitions));
+  EQC_EXPECTS(!out.empty());
+
+  for (int r = 0; r < options.repetitions; ++r)
+    append_n1(circ, source, anc.copies[r], anc.syndrome, anc.work,
+              options.syndrome_check);
+
+  for (auto o : out) circ.prep_z(o);
+  if (options.repetitions == 1) {
+    codes::append_fanout(circ, anc.copies[0], out);
+  } else if (options.repetitions == 3) {
+    codes::append_majority3(circ, anc.copies[0], anc.copies[1], anc.copies[2],
+                            out);
+  } else {
+    for (auto o : out)
+      append_majority5_into(circ, anc.copies, anc.maj5_scratch, o);
+  }
+}
+
+NGateAncillas allocate_ngate_ancillas(Layout& layout, int repetitions) {
+  NGateAncillas anc;
+  anc.copies = layout.reg(static_cast<std::size_t>(repetitions));
+  anc.syndrome = {layout.bit(), layout.bit(), layout.bit()};
+  anc.work = {layout.bit(), layout.bit()};
+  if (repetitions == 5)
+    anc.maj5_scratch = {layout.bit(), layout.bit(), layout.bit(),
+                        layout.bit(), layout.bit()};
+  return anc;
+}
+
+}  // namespace eqc::ftqc

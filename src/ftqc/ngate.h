@@ -1,0 +1,70 @@
+// The paper's N gate (Fig. 1): a fault-tolerant quantum-to-classical
+// controlled-NOT that copies the logical basis value of an encoded quantum
+// ancilla onto a classical repetition-code register, WITHOUT measurement.
+//
+//   |0>_L (x) |q>  ->  |0>_L (x) |q>
+//   |0>_L (x) |q^1(bar)> ... (Eq. (1) of the paper)
+//
+// One repetition (N1) computes into a fresh target bit
+//     b  ^=  parity(block)  XOR  OR(syndrome bits)
+// where the three syndrome bits are the Hamming parity checks of the block.
+// The OR-correction makes the copy immune to any single bit error already
+// present on the quantum ancilla; repeating N1 2k+1 times and majority
+// voting protects against faults inside N1 itself.  Phase errors flow only
+// backwards (classical ancilla -> quantum ancilla), never into quantum data
+// that the classical register later controls — the paper's key observation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "codes/steane.h"
+
+namespace eqc::ftqc {
+
+struct NGateAncillas {
+  /// 2k+1 fresh target bits, one per repetition.
+  std::vector<std::uint32_t> copies;
+  /// Syndrome-check bits (re-prepared every repetition).
+  std::array<std::uint32_t, 3> syndrome;
+  /// Work bits for the OR gadget (re-prepared every repetition).
+  std::array<std::uint32_t, 2> work;
+  /// Counter scratch for the majority-of-5 vote (repetitions == 5 only):
+  /// 3 counter bits + 2 work bits, re-prepared per output bit.
+  std::array<std::uint32_t, 5> maj5_scratch{};
+};
+
+struct NGateOptions {
+  /// Number of N1 repetitions.  The paper's 2k+1 = 3 suffices for k = 1
+  /// under its per-location single-qubit fault model; 5 repetitions
+  /// (k' = 2, with an independent majority counter per output bit) also
+  /// absorb the correlated two-qubit gate faults documented in E1(b').
+  int repetitions = 3;
+  /// Ablation switch: disable the Hamming syndrome check inside N1.
+  /// Without it a single pre-existing bit error on the quantum ancilla
+  /// corrupts *every* repetition and defeats the majority vote.
+  bool syndrome_check = true;
+};
+
+/// One repetition of the Fig. 1 circuit; prepares target/syndrome/work to
+/// |0> itself, so ancillas can be reused across repetitions.
+void append_n1(circuit::Circuit& circ, const codes::Block& source,
+               std::uint32_t target,
+               const std::array<std::uint32_t, 3>& syndrome,
+               const std::array<std::uint32_t, 2>& work, bool syndrome_check);
+
+/// Full N gate: repetitions of N1 followed by a majority vote copied into
+/// every bit of `out` ("copy the result into seven bits").  `out` may alias
+/// nothing in `anc`; out bits are prepared to |0> here.
+void append_ngate(circuit::Circuit& circ, const codes::Block& source,
+                  std::span<const std::uint32_t> out, const NGateAncillas& anc,
+                  const NGateOptions& options = {});
+
+/// Convenience: number of distinct ancilla qubits append_ngate needs.
+NGateAncillas allocate_ngate_ancillas(class Layout& layout,
+                                      int repetitions = 3);
+
+}  // namespace eqc::ftqc

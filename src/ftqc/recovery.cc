@@ -1,0 +1,269 @@
+#include "ftqc/recovery.h"
+
+#include "codes/classical_logic.h"
+#include "codes/hamming.h"
+#include "common/assert.h"
+#include "ftqc/layout.h"
+#include "ftqc/ngate.h"
+
+namespace eqc::ftqc {
+
+namespace {
+
+using circuit::Circuit;
+using codes::Block;
+using codes::Hamming74;
+using codes::Steane;
+
+// Copies the block's three Hamming parities onto classical bits (the
+// parities are deterministic on any codeword-uniform state, so this never
+// decoheres the block — the N-gate trick).
+void read_hamming_parities(Circuit& circ, const Block& block,
+                           const std::array<std::uint32_t, 3>& syn) {
+  for (int row = 0; row < 3; ++row) {
+    circ.prep_z(syn[row]);
+    const unsigned mask = Hamming74::kCheckMasks[row];
+    for (int i = 0; i < 7; ++i)
+      if (mask & (1u << i)) circ.cnot(block.q[i], syn[row]);
+  }
+}
+
+// onehot ^= [reg == pattern], pattern in 1..7 (reversible one-hot decode).
+void decode_pattern(Circuit& circ, const std::array<std::uint32_t, 3>& reg,
+                    std::uint32_t work, std::uint32_t onehot,
+                    unsigned pattern) {
+  circ.prep_z(work);
+  circ.prep_z(onehot);
+  for (int j = 0; j < 3; ++j)
+    if (!(pattern & (1u << j))) circ.x(reg[j]);
+  circ.ccx(reg[0], reg[1], work);
+  circ.ccx(work, reg[2], onehot);
+  for (int j = 0; j < 3; ++j)
+    if (!(pattern & (1u << j))) circ.x(reg[j]);
+}
+
+// Fault-tolerant |+>_L ancilla: encode |0>_L, REPAIR any X burst the
+// unverified encoder may have left (read the classical Hamming syndrome
+// twice, and if the two reads agree, apply the decoded single-qubit X —
+// the repaired pattern is then an X stabilizer), finally H^(x)7.
+// Residual single-fault damage is at most one Z on the block plus benign
+// X noise; neither can put more than one error on the data.
+void prepare_plus_ancilla(Circuit& circ, const RecoveryAncillas& anc) {
+  const Block& a = anc.anc_block;
+  for (auto q : a.q) circ.prep_z(q);
+  Steane::append_encode_zero(circ, a);
+
+  // Two syndrome reads + agreement.
+  read_hamming_parities(circ, a, anc.prep_syn1);
+  read_hamming_parities(circ, a, anc.prep_syn2);
+  // syn2 := syn1 XOR syn2 (difference); eq = NOR3(difference).
+  for (int j = 0; j < 3; ++j) circ.cnot(anc.prep_syn1[j], anc.prep_syn2[j]);
+  circ.prep_z(anc.prep_work);
+  circ.prep_z(anc.prep_eq);
+  for (int j = 0; j < 3; ++j) circ.x(anc.prep_syn2[j]);
+  circ.ccx(anc.prep_syn2[0], anc.prep_syn2[1], anc.prep_work);
+  circ.ccx(anc.prep_work, anc.prep_syn2[2], anc.prep_eq);
+  // repair = eq ? syn1 : 0.
+  for (int j = 0; j < 3; ++j) {
+    circ.prep_z(anc.prep_repair[j]);
+    circ.ccx(anc.prep_eq, anc.prep_syn1[j], anc.prep_repair[j]);
+  }
+  // Decode + classically controlled repair.
+  for (int i = 0; i < 7; ++i) {
+    decode_pattern(circ, anc.prep_repair, anc.prep_work, anc.onehot[i],
+                   static_cast<unsigned>(i + 1));
+    circ.cnot(anc.onehot[i], a.q[i]);
+  }
+
+  // The Hamming repair turns any burst into a codeword pattern, but a
+  // weight-2 burst lands in the |1>_L coset (a logical X).  The N gate
+  // reads the (deterministic) logical bit fault-tolerantly onto a 7-wide
+  // classical register, which then controls a bit-wise X_L repair — the
+  // paper's own classically-controlled-logical-operation technique.
+  append_ngate(circ, a, anc.prep_nout, anc.prep_n, NGateOptions{});
+  for (int i = 0; i < 7; ++i) circ.cnot(anc.prep_nout[i], a.q[i]);
+
+  Steane::append_logical_h(circ, a);
+}
+
+// One Steane-style extraction: |+>_L ancilla block as transversal-CNOT
+// target, then the ancilla's three Hamming parities onto classical bits.
+void extract_syndrome(Circuit& circ, const Block& data,
+                      const RecoveryAncillas& anc,
+                      const std::array<std::uint32_t, 3>& syn) {
+  prepare_plus_ancilla(circ, anc);
+  Steane::append_logical_cnot(circ, data, anc.anc_block);
+  read_hamming_parities(circ, anc.anc_block, syn);
+}
+
+std::array<std::uint32_t, 3> round_bits(const std::vector<std::uint32_t>& syn,
+                                        int round) {
+  return {syn[3 * round], syn[3 * round + 1], syn[3 * round + 2]};
+}
+
+// Word-level agreement vote: voted = s_a if two rounds agree on it, else 0.
+//   eq_ab = [s_a == s_b] for the three pairs;
+//   u1 = eq12 OR eq13  (use round 1's word),
+//   u2 = eq23 AND NOT u1 (use round 2's word),
+//   voted_j = u1*s1_j XOR u2*s2_j.
+void append_agreement_vote(Circuit& circ, const RecoveryAncillas& anc,
+                           const std::vector<std::uint32_t>& syn) {
+  const auto s1 = round_bits(syn, 0);
+  const auto s2 = round_bits(syn, 1);
+  const auto s3 = round_bits(syn, 2);
+
+  const std::array<std::array<std::uint32_t, 3>, 3> pairs_a = {s1, s1, s2};
+  const std::array<std::array<std::uint32_t, 3>, 3> pairs_b = {s2, s3, s3};
+  for (int pair = 0; pair < 3; ++pair) {
+    // diff_j = a_j XOR b_j; eq = NOR3(diff).
+    for (int j = 0; j < 3; ++j) {
+      circ.prep_z(anc.diff[j]);
+      circ.cnot(pairs_a[pair][j], anc.diff[j]);
+      circ.cnot(pairs_b[pair][j], anc.diff[j]);
+    }
+    circ.prep_z(anc.and_work);
+    circ.prep_z(anc.eq[pair]);
+    circ.x(anc.diff[0]);
+    circ.x(anc.diff[1]);
+    circ.x(anc.diff[2]);
+    circ.ccx(anc.diff[0], anc.diff[1], anc.and_work);
+    circ.ccx(anc.and_work, anc.diff[2], anc.eq[pair]);
+  }
+
+  // u1 = eq12 OR eq13 = NOT(!eq12 AND !eq13).
+  circ.prep_z(anc.use_bits[0]);
+  circ.x(anc.eq[0]);
+  circ.x(anc.eq[1]);
+  circ.ccx(anc.eq[0], anc.eq[1], anc.use_bits[0]);
+  circ.x(anc.use_bits[0]);
+  circ.x(anc.eq[0]);  // restore
+  circ.x(anc.eq[1]);
+  // u2 = eq23 AND NOT u1.
+  circ.prep_z(anc.use_bits[1]);
+  circ.x(anc.use_bits[0]);
+  circ.ccx(anc.eq[2], anc.use_bits[0], anc.use_bits[1]);
+  circ.x(anc.use_bits[0]);
+
+  for (int j = 0; j < 3; ++j) {
+    circ.prep_z(anc.voted[j]);
+    circ.ccx(anc.use_bits[0], s1[j], anc.voted[j]);
+    circ.ccx(anc.use_bits[1], s2[j], anc.voted[j]);
+  }
+}
+
+}  // namespace
+
+void append_recovery(Circuit& circ, const Block& data,
+                     const RecoveryAncillas& anc,
+                     const RecoveryOptions& options) {
+  const int rounds = options.rounds;
+  EQC_EXPECTS(rounds == 1 || rounds == 3);
+  EQC_EXPECTS(anc.syn_z.size() >= static_cast<std::size_t>(3 * rounds));
+  EQC_EXPECTS(anc.syn_x.size() >= static_cast<std::size_t>(3 * rounds));
+  EQC_EXPECTS(anc.onehot.size() == 7);
+
+  // --- Syndrome extraction. ------------------------------------------------
+  // Z-type checks (X-error detection): direct.
+  for (int r = 0; r < rounds; ++r)
+    extract_syndrome(circ, data, anc, round_bits(anc.syn_z, r));
+  // X-type checks (Z-error detection): in a transversal-H frame.
+  Steane::append_logical_h(circ, data);
+  for (int r = 0; r < rounds; ++r)
+    extract_syndrome(circ, data, anc, round_bits(anc.syn_x, r));
+  Steane::append_logical_h(circ, data);
+
+  if (options.measurement_free) {
+    // Z corrections from the Z-type syndrome.
+    if (rounds == 1) {
+      for (int j = 0; j < 3; ++j) {
+        circ.prep_z(anc.voted[j]);
+        circ.cnot(anc.syn_z[j], anc.voted[j]);
+      }
+    } else {
+      append_agreement_vote(circ, anc, anc.syn_z);
+    }
+    for (int i = 0; i < 7; ++i) {
+      decode_pattern(circ, anc.voted, anc.decode_work, anc.onehot[i],
+                     static_cast<unsigned>(i + 1));
+      circ.cnot(anc.onehot[i], data.q[i]);  // X correction
+    }
+    // X-type syndrome -> Z corrections.
+    if (rounds == 1) {
+      for (int j = 0; j < 3; ++j) {
+        circ.prep_z(anc.voted[j]);
+        circ.cnot(anc.syn_x[j], anc.voted[j]);
+      }
+    } else {
+      append_agreement_vote(circ, anc, anc.syn_x);
+    }
+    for (int i = 0; i < 7; ++i) {
+      decode_pattern(circ, anc.voted, anc.decode_work, anc.onehot[i],
+                     static_cast<unsigned>(i + 1));
+      circ.cz(anc.onehot[i], data.q[i]);  // Z correction
+    }
+    return;
+  }
+
+  // --- Measurement-based baseline: identical extraction and decode rule,
+  //     but the syndrome bits are measured and the vote/decode run as
+  //     classical feed-forward. ---------------------------------------------
+  std::vector<std::uint32_t> mz, mx;
+  for (int r = 0; r < rounds; ++r)
+    for (int row = 0; row < 3; ++row)
+      mz.push_back(circ.measure_z(anc.syn_z[3 * r + row]));
+  for (int r = 0; r < rounds; ++r)
+    for (int row = 0; row < 3; ++row)
+      mx.push_back(circ.measure_z(anc.syn_x[3 * r + row]));
+
+  auto voted_syndrome = [rounds](const std::vector<std::uint32_t>& slots,
+                                 const std::vector<bool>& bits) {
+    auto word = [&](int r) {
+      unsigned s = 0;
+      for (int row = 0; row < 3; ++row)
+        if (bits[slots[3 * r + row]]) s |= 1u << row;
+      return s;
+    };
+    if (rounds == 1) return word(0);
+    const unsigned s1 = word(0), s2 = word(1), s3 = word(2);
+    if (s1 == s2 || s1 == s3) return s1;
+    if (s2 == s3) return s2;
+    return 0u;  // no agreement: do nothing
+  };
+  for (int i = 0; i < 7; ++i) {
+    const unsigned pattern = static_cast<unsigned>(i + 1);
+    const auto fz = circ.add_classical_func(
+        [mz, pattern, voted_syndrome](const std::vector<bool>& bits) {
+          return voted_syndrome(mz, bits) == pattern;
+        });
+    circ.x_if(fz, data.q[i]);
+    const auto fx = circ.add_classical_func(
+        [mx, pattern, voted_syndrome](const std::vector<bool>& bits) {
+          return voted_syndrome(mx, bits) == pattern;
+        });
+    circ.z_if(fx, data.q[i]);
+  }
+}
+
+RecoveryAncillas allocate_recovery_ancillas(Layout& layout, int rounds) {
+  RecoveryAncillas anc;
+  anc.anc_block = layout.block();
+  anc.prep_syn1 = {layout.bit(), layout.bit(), layout.bit()};
+  anc.prep_syn2 = {layout.bit(), layout.bit(), layout.bit()};
+  anc.prep_work = layout.bit();
+  anc.prep_eq = layout.bit();
+  anc.prep_repair = {layout.bit(), layout.bit(), layout.bit()};
+  anc.prep_n = allocate_ngate_ancillas(layout, 3);
+  anc.prep_nout = layout.reg(7);
+  anc.syn_z = layout.reg(static_cast<std::size_t>(3 * rounds));
+  anc.syn_x = layout.reg(static_cast<std::size_t>(3 * rounds));
+  anc.diff = {layout.bit(), layout.bit(), layout.bit()};
+  anc.and_work = layout.bit();
+  anc.eq = {layout.bit(), layout.bit(), layout.bit()};
+  anc.use_bits = {layout.bit(), layout.bit()};
+  anc.voted = {layout.bit(), layout.bit(), layout.bit()};
+  anc.onehot = layout.reg(7);
+  anc.decode_work = layout.bit();
+  return anc;
+}
+
+}  // namespace eqc::ftqc

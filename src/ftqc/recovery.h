@@ -1,0 +1,82 @@
+// Measurement-free error recovery (the paper's Sec. 5).
+//
+// Standard quantum error correction measures a syndrome, classically
+// decodes it, and applies a correction.  Here — exactly as the paper
+// prescribes — the syndrome ancilla's state is copied onto classical-basis
+// bits (the N-gate technique), the decoder is a reversible classical
+// circuit, and the correction is a layer of classically controlled Paulis.
+// No measurement anywhere.
+//
+// Syndrome extraction is Steane-style: a |+>_L ancilla block is the TARGET
+// of a transversal CNOT from the data, then its three Hamming parities are
+// copied onto classical syndrome bits.  This direction is intrinsically
+// fault tolerant without verified ancillas: ancilla bit errors (even the
+// weight-3 patterns an unverified encoder can produce) only garble one
+// round's syndrome, and ancilla phase errors touch at most one data qubit.
+// X-type checks reuse the same machinery inside a transversal-H frame on
+// the data.
+//
+// The syndrome is extracted `rounds` (2k+1) times and combined by
+// WORD-level agreement ("use a syndrome that two rounds agree on, else do
+// nothing"), which—unlike bitwise majority—is immune to the classic race
+// where a data error lands mid-round and the mixed syndrome decodes to a
+// wrong position.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "codes/steane.h"
+#include "ftqc/ngate.h"
+
+namespace eqc::ftqc {
+
+struct RecoveryAncillas {
+  /// Syndrome ancilla block (|+>_L), re-prepared for every extraction.
+  codes::Block anc_block;
+  /// Classical scratch for the ancilla's burst repair: two syndrome reads
+  /// (3+3), an agreement bit + AND work bit, and the gated repair syndrome.
+  std::array<std::uint32_t, 3> prep_syn1;
+  std::array<std::uint32_t, 3> prep_syn2;
+  std::uint32_t prep_work;
+  std::uint32_t prep_eq;
+  std::array<std::uint32_t, 3> prep_repair;
+  /// N-gate machinery for the ancilla's logical-parity repair: the Hamming
+  /// repair maps any encoder burst into the code, but possibly into the
+  /// wrong (|1>_L) coset; the N gate reads the logical bit onto a 7-wide
+  /// classical register which then controls a bit-wise X_L repair.
+  NGateAncillas prep_n;
+  std::vector<std::uint32_t> prep_nout;  ///< width 7
+  /// Classical syndrome bits: [round*3 + row], per check type.
+  std::vector<std::uint32_t> syn_z;  ///< Z-type checks (detect X errors)
+  std::vector<std::uint32_t> syn_x;  ///< X-type checks (detect Z errors)
+  // Classical scratch for the word-agreement vote (reused per type).
+  std::array<std::uint32_t, 3> diff;
+  std::uint32_t and_work;
+  std::array<std::uint32_t, 3> eq;   ///< s1==s2, s1==s3, s2==s3
+  std::array<std::uint32_t, 2> use_bits;
+  std::array<std::uint32_t, 3> voted;
+  /// One-hot correction controls (reused per type) + decode scratch.
+  std::vector<std::uint32_t> onehot;  ///< 7
+  std::uint32_t decode_work;
+};
+
+struct RecoveryOptions {
+  int rounds = 3;
+  /// false: measurement-based baseline — the syndrome bits are measured
+  /// and the identical agreement-vote + decode runs as classical
+  /// feed-forward.
+  bool measurement_free = true;
+};
+
+/// Appends one complete error-recovery step for `data`.
+void append_recovery(circuit::Circuit& circ, const codes::Block& data,
+                     const RecoveryAncillas& anc,
+                     const RecoveryOptions& options = {});
+
+RecoveryAncillas allocate_recovery_ancillas(class Layout& layout,
+                                            int rounds = 3);
+
+}  // namespace eqc::ftqc

@@ -1,0 +1,69 @@
+#include "noise/model.h"
+
+#include "common/assert.h"
+
+namespace eqc::noise {
+
+double NoiseModel::probability_for(circuit::FaultSite::Kind kind) const {
+  using Kind = circuit::FaultSite::Kind;
+  switch (kind) {
+    case Kind::Input: return p * input_scale;
+    case Kind::PrepOutput: return p * prep_scale;
+    case Kind::GateOutput: return p * gate_scale;
+    case Kind::MeasureInput: return p * measure_scale;
+    case Kind::Idle: return p * idle_scale;
+  }
+  return 0.0;
+}
+
+pauli::PauliString sample_error(Channel channel,
+                                const std::vector<std::uint32_t>& site_qubits,
+                                std::size_t num_qubits, Rng& rng) {
+  EQC_EXPECTS(!site_qubits.empty() && site_qubits.size() <= 3);
+  const std::size_t k = site_qubits.size();
+  pauli::PauliString err(num_qubits);
+  switch (channel) {
+    case Channel::Depolarizing: {
+      // Draw a non-zero index into {I,X,Y,Z}^k.
+      const std::uint64_t idx = 1 + rng.below((std::uint64_t{1} << (2 * k)) - 1);
+      for (std::size_t i = 0; i < k; ++i) {
+        const auto code = static_cast<pauli::Pauli>((idx >> (2 * i)) & 3);
+        err.set(site_qubits[i], code);
+      }
+      break;
+    }
+    case Channel::BitFlip: {
+      const std::uint64_t mask = 1 + rng.below((std::uint64_t{1} << k) - 1);
+      for (std::size_t i = 0; i < k; ++i)
+        if (mask & (std::uint64_t{1} << i))
+          err.set(site_qubits[i], pauli::Pauli::X);
+      break;
+    }
+    case Channel::PhaseFlip: {
+      const std::uint64_t mask = 1 + rng.below((std::uint64_t{1} << k) - 1);
+      for (std::size_t i = 0; i < k; ++i)
+        if (mask & (std::uint64_t{1} << i))
+          err.set(site_qubits[i], pauli::Pauli::Z);
+      break;
+    }
+    case Channel::SingleQubitPauli: {
+      const std::size_t i = rng.below(k);
+      static constexpr pauli::Pauli kChoices[3] = {
+          pauli::Pauli::X, pauli::Pauli::Y, pauli::Pauli::Z};
+      err.set(site_qubits[i], kChoices[rng.below(3)]);
+      break;
+    }
+  }
+  return err;
+}
+
+void StochasticInjector::visit(const circuit::FaultSite& site,
+                               circuit::Backend& backend) {
+  const double p = model_.probability_for(site.kind);
+  if (p <= 0.0 || !rng_.bernoulli(p)) return;
+  backend.apply_pauli(
+      sample_error(model_.channel, site.qubits, backend.num_qubits(), rng_));
+  ++errors_;
+}
+
+}  // namespace eqc::noise

@@ -1,0 +1,74 @@
+// Stochastic error models.
+//
+// The paper analyzes the standard independent stochastic model: "For a
+// probability p of an error (per gate, per input bit, and per delay line)".
+// NoiseModel assigns an error probability to every fault site the executor
+// visits; StochasticInjector samples a uniformly random error from the
+// chosen channel when a site fires.
+#pragma once
+
+#include "circuit/execute.h"
+#include "common/rng.h"
+
+namespace eqc::noise {
+
+enum class Channel {
+  Depolarizing,  ///< uniform over the 4^k - 1 non-identity Paulis on the site
+  BitFlip,       ///< uniform over the 2^k - 1 non-trivial X patterns
+  PhaseFlip,     ///< uniform over the 2^k - 1 non-trivial Z patterns
+  /// One uniformly chosen qubit of the site gets one uniform Pauli — the
+  /// paper's "probability p of an error per gate, per input bit, and per
+  /// delay line" model, with no correlated multi-qubit errors.
+  SingleQubitPauli,
+};
+
+struct NoiseModel {
+  double p = 0.0;
+  Channel channel = Channel::Depolarizing;
+  // Relative strength per site kind (0 disables that class of faults).
+  double input_scale = 1.0;
+  double prep_scale = 1.0;
+  double gate_scale = 1.0;
+  double measure_scale = 1.0;
+  double idle_scale = 1.0;
+
+  double probability_for(circuit::FaultSite::Kind kind) const;
+
+  static NoiseModel depolarizing(double p) { return NoiseModel{.p = p}; }
+  static NoiseModel bit_flip(double p) {
+    return NoiseModel{.p = p, .channel = Channel::BitFlip};
+  }
+  static NoiseModel phase_flip(double p) {
+    return NoiseModel{.p = p, .channel = Channel::PhaseFlip};
+  }
+  /// The paper's per-location single-qubit error model.
+  static NoiseModel paper_model(double p) {
+    return NoiseModel{.p = p, .channel = Channel::SingleQubitPauli};
+  }
+};
+
+/// Samples a uniformly random non-identity error of the channel's type over
+/// `site_qubits`, as an operator on the full `num_qubits`-wide register.
+pauli::PauliString sample_error(Channel channel,
+                                const std::vector<std::uint32_t>& site_qubits,
+                                std::size_t num_qubits, Rng& rng);
+
+/// FaultInjector applying NoiseModel errors during execution.
+class StochasticInjector final : public circuit::FaultInjector {
+ public:
+  StochasticInjector(NoiseModel model, Rng rng)
+      : model_(model), rng_(rng) {}
+
+  void visit(const circuit::FaultSite& site,
+             circuit::Backend& backend) override;
+
+  /// Number of errors injected so far (diagnostics).
+  std::size_t errors_injected() const { return errors_; }
+
+ private:
+  NoiseModel model_;
+  Rng rng_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace eqc::noise

@@ -1,0 +1,29 @@
+#include "noise/monte_carlo.h"
+
+namespace eqc::noise {
+
+FailureCounter run_trials(std::uint64_t trials, std::uint64_t seed,
+                          const std::function<bool(Rng&)>& trial) {
+  Rng master(seed);
+  FailureCounter counter;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    Rng trial_rng = master.split();
+    counter.add(trial(trial_rng));
+  }
+  return counter;
+}
+
+FailureCounter run_trials_until(std::uint64_t max_trials,
+                                std::uint64_t max_failures, std::uint64_t seed,
+                                const std::function<bool(Rng&)>& trial) {
+  Rng master(seed);
+  FailureCounter counter;
+  for (std::uint64_t i = 0; i < max_trials; ++i) {
+    Rng trial_rng = master.split();
+    counter.add(trial(trial_rng));
+    if (counter.failures >= max_failures) break;
+  }
+  return counter;
+}
+
+}  // namespace eqc::noise

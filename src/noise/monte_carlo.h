@@ -1,0 +1,24 @@
+// Monte-Carlo trial driver with reproducible per-trial RNG streams.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace eqc::noise {
+
+/// Runs `trials` independent trials; `trial` returns true on failure.
+/// Each trial receives its own RNG split off a master stream seeded with
+/// `seed`, so results are reproducible and order-independent.
+FailureCounter run_trials(std::uint64_t trials, std::uint64_t seed,
+                          const std::function<bool(Rng&)>& trial);
+
+/// Like run_trials but stops early once `max_failures` have been seen
+/// (useful when sweeping into the very-low-p regime).
+FailureCounter run_trials_until(std::uint64_t max_trials,
+                                std::uint64_t max_failures, std::uint64_t seed,
+                                const std::function<bool(Rng&)>& trial);
+
+}  // namespace eqc::noise

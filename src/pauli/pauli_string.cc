@@ -1,0 +1,227 @@
+#include "pauli/pauli_string.h"
+
+#include <bit>
+
+#include "common/assert.h"
+
+namespace eqc::pauli {
+
+char to_char(Pauli p) {
+  switch (p) {
+    case Pauli::I: return 'I';
+    case Pauli::X: return 'X';
+    case Pauli::Y: return 'Y';
+    case Pauli::Z: return 'Z';
+  }
+  return '?';
+}
+
+PauliString::PauliString(std::size_t num_qubits)
+    : n_(num_qubits),
+      x_((num_qubits + 63) / 64, 0),
+      z_((num_qubits + 63) / 64, 0) {}
+
+PauliString PauliString::from_string(const std::string& labels) {
+  PauliString p(labels.size());
+  for (std::size_t q = 0; q < labels.size(); ++q) {
+    switch (labels[q]) {
+      case 'I': break;
+      case 'X': p.set(q, Pauli::X); break;
+      case 'Y': p.set(q, Pauli::Y); break;
+      case 'Z': p.set(q, Pauli::Z); break;
+      default:
+        throw ContractViolation("PauliString::from_string: bad label");
+    }
+  }
+  return p;
+}
+
+PauliString PauliString::single(std::size_t num_qubits, std::size_t qubit,
+                                Pauli p) {
+  PauliString out(num_qubits);
+  out.set(qubit, p);
+  return out;
+}
+
+Pauli PauliString::get(std::size_t qubit) const {
+  EQC_EXPECTS(qubit < n_);
+  const bool x = x_bit(qubit);
+  const bool z = z_bit(qubit);
+  if (x && z) return Pauli::Y;
+  if (x) return Pauli::X;
+  if (z) return Pauli::Z;
+  return Pauli::I;
+}
+
+void PauliString::set(std::size_t qubit, Pauli p) {
+  EQC_EXPECTS(qubit < n_);
+  // Clear any previous operator on this qubit first (including the i that a
+  // stored Y contributed, so repeated set() calls stay phase-exact).
+  if (x_bit(qubit) && z_bit(qubit)) phase_ = (phase_ + 3) % 4;
+  switch (p) {
+    case Pauli::I: set_bits(qubit, false, false); break;
+    case Pauli::X: set_bits(qubit, true, false); break;
+    case Pauli::Z: set_bits(qubit, false, true); break;
+    case Pauli::Y:
+      // Y = i * XZ in the X-before-Z convention.
+      set_bits(qubit, true, true);
+      phase_ = (phase_ + 1) % 4;
+      break;
+  }
+}
+
+bool PauliString::x_bit(std::size_t qubit) const {
+  EQC_EXPECTS(qubit < n_);
+  return (x_[word(qubit)] & bit(qubit)) != 0;
+}
+
+bool PauliString::z_bit(std::size_t qubit) const {
+  EQC_EXPECTS(qubit < n_);
+  return (z_[word(qubit)] & bit(qubit)) != 0;
+}
+
+void PauliString::set_bits(std::size_t qubit, bool x, bool z) {
+  EQC_EXPECTS(qubit < n_);
+  if (x)
+    x_[word(qubit)] |= bit(qubit);
+  else
+    x_[word(qubit)] &= ~bit(qubit);
+  if (z)
+    z_[word(qubit)] |= bit(qubit);
+  else
+    z_[word(qubit)] &= ~bit(qubit);
+}
+
+std::size_t PauliString::count_y() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < x_.size(); ++i)
+    n += static_cast<std::size_t>(std::popcount(x_[i] & z_[i]));
+  return n;
+}
+
+bool PauliString::is_hermitian() const {
+  // Operator = i^{phase - n_Y} * (product of I/X/Y/Z labels).
+  return (phase_ - static_cast<int>(count_y())) % 2 == 0;
+}
+
+std::size_t PauliString::weight() const {
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < x_.size(); ++i)
+    w += static_cast<std::size_t>(std::popcount(x_[i] | z_[i]));
+  return w;
+}
+
+std::vector<std::size_t> PauliString::support() const {
+  std::vector<std::size_t> out;
+  for (std::size_t q = 0; q < n_; ++q)
+    if (x_bit(q) || z_bit(q)) out.push_back(q);
+  return out;
+}
+
+bool PauliString::is_identity() const { return weight() == 0; }
+
+bool PauliString::commutes_with(const PauliString& other) const {
+  EQC_EXPECTS(n_ == other.n_);
+  // Symplectic inner product: parity of |{q : x_q z'_q + z_q x'_q = 1}|.
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < x_.size(); ++i)
+    acc ^= (x_[i] & other.z_[i]) ^ (z_[i] & other.x_[i]);
+  return std::popcount(acc) % 2 == 0;
+}
+
+void PauliString::multiply_by(const PauliString& other) {
+  EQC_EXPECTS(n_ == other.n_);
+  // (X^x1 Z^z1)(X^x2 Z^z2) = (-1)^(z1.x2) X^(x1+x2) Z^(z1+z2) per qubit.
+  int sign_flips = 0;
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    sign_flips += std::popcount(z_[i] & other.x_[i]);
+    x_[i] ^= other.x_[i];
+    z_[i] ^= other.z_[i];
+  }
+  phase_ = (phase_ + other.phase_ + 2 * (sign_flips % 2)) % 4;
+}
+
+void PauliString::conjugate_h(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  const bool x = x_bit(q);
+  const bool z = z_bit(q);
+  set_bits(q, z, x);
+  // H (XZ) H = ZX = -XZ.
+  if (x && z) phase_ = (phase_ + 2) % 4;
+}
+
+void PauliString::conjugate_s(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  if (x_bit(q)) {
+    // S X S+ = i XZ,  S (XZ) S+ = i X.
+    set_bits(q, true, !z_bit(q));
+    phase_ = (phase_ + 1) % 4;
+  }
+}
+
+void PauliString::conjugate_sdg(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  if (x_bit(q)) {
+    // S+ X S = -i XZ,  S+ (XZ) S = -i X.
+    set_bits(q, true, !z_bit(q));
+    phase_ = (phase_ + 3) % 4;
+  }
+}
+
+void PauliString::conjugate_x(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  if (z_bit(q)) phase_ = (phase_ + 2) % 4;
+}
+
+void PauliString::conjugate_z(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  if (x_bit(q)) phase_ = (phase_ + 2) % 4;
+}
+
+void PauliString::conjugate_y(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  if (x_bit(q) != z_bit(q)) phase_ = (phase_ + 2) % 4;
+}
+
+void PauliString::conjugate_cnot(std::size_t control, std::size_t target) {
+  EQC_EXPECTS(control < n_ && target < n_ && control != target);
+  // X on control spreads to target; Z on target spreads to control.
+  // In the X-before-Z (XZ-literal) convention no phase correction arises.
+  if (x_bit(control)) set_bits(target, !x_bit(target), z_bit(target));
+  if (z_bit(target)) set_bits(control, x_bit(control), !z_bit(control));
+}
+
+void PauliString::conjugate_cz(std::size_t a, std::size_t b) {
+  EQC_EXPECTS(a < n_ && b < n_ && a != b);
+  const bool xa = x_bit(a);
+  const bool xb = x_bit(b);
+  if (xa) set_bits(b, xb, !z_bit(b));
+  if (xb) set_bits(a, xa, !z_bit(a));
+  if (xa && xb) phase_ = (phase_ + 2) % 4;
+}
+
+void PauliString::conjugate_swap(std::size_t a, std::size_t b) {
+  EQC_EXPECTS(a < n_ && b < n_);
+  const bool xa = x_bit(a), za = z_bit(a);
+  const bool xb = x_bit(b), zb = z_bit(b);
+  set_bits(a, xb, zb);
+  set_bits(b, xa, za);
+}
+
+PauliString PauliString::random_single(std::size_t num_qubits,
+                                       std::size_t qubit, Rng& rng) {
+  static constexpr Pauli kChoices[3] = {Pauli::X, Pauli::Y, Pauli::Z};
+  return single(num_qubits, qubit, kChoices[rng.below(3)]);
+}
+
+std::string PauliString::to_string() const {
+  std::string out(n_, 'I');
+  for (std::size_t q = 0; q < n_; ++q) out[q] = to_char(get(q));
+  return out;
+}
+
+bool operator==(const PauliString& a, const PauliString& b) {
+  return a.n_ == b.n_ && a.phase_ == b.phase_ && a.x_ == b.x_ && a.z_ == b.z_;
+}
+
+}  // namespace eqc::pauli

@@ -1,0 +1,57 @@
+#include "qsim/gates.h"
+
+#include <cmath>
+
+namespace eqc::qsim {
+
+namespace {
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+Mat2 make(cplx a00, cplx a01, cplx a10, cplx a11) {
+  Mat2 m;
+  m(0, 0) = a00;
+  m(0, 1) = a01;
+  m(1, 0) = a10;
+  m(1, 1) = a11;
+  return m;
+}
+}  // namespace
+
+Mat2 gate_i() { return make(1, 0, 0, 1); }
+Mat2 gate_x() { return make(0, 1, 1, 0); }
+Mat2 gate_y() { return make(0, cplx{0, -1}, cplx{0, 1}, 0); }
+Mat2 gate_z() { return make(1, 0, 0, -1); }
+Mat2 gate_h() {
+  return make(kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2);
+}
+Mat2 gate_s() { return make(1, 0, 0, cplx{0, 1}); }
+Mat2 gate_sdg() { return make(1, 0, 0, cplx{0, -1}); }
+Mat2 gate_t() { return gate_phase(M_PI / 4); }
+Mat2 gate_tdg() { return gate_phase(-M_PI / 4); }
+
+Mat2 gate_rz(double theta) {
+  return make(std::polar(1.0, -theta / 2), 0, 0, std::polar(1.0, theta / 2));
+}
+
+Mat2 gate_rx(double theta) {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return make(c, cplx{0, -s}, cplx{0, -s}, c);
+}
+
+Mat2 gate_ry(double theta) {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return make(c, -s, s, c);
+}
+
+Mat2 gate_phase(double theta) {
+  return make(1, 0, 0, std::polar(1.0, theta));
+}
+
+Mat2 gate_sqrt_x() {
+  // sqrt(X) = H S H; entries (1 +- i)/2.
+  const cplx p{0.5, 0.5}, m{0.5, -0.5};
+  return make(p, m, m, p);
+}
+
+}  // namespace eqc::qsim

@@ -1,0 +1,25 @@
+// Standard single-qubit gate matrices.
+//
+// Naming follows the paper: sigma_z^{1/2} is S, sigma_z^{1/4} is T.
+#pragma once
+
+#include "common/matrix.h"
+
+namespace eqc::qsim {
+
+Mat2 gate_i();
+Mat2 gate_x();
+Mat2 gate_y();
+Mat2 gate_z();
+Mat2 gate_h();
+Mat2 gate_s();      ///< sigma_z^{1/2} = diag(1, i)
+Mat2 gate_sdg();    ///< sigma_z^{-1/2}
+Mat2 gate_t();      ///< sigma_z^{1/4} = diag(1, e^{i pi/4})
+Mat2 gate_tdg();    ///< sigma_z^{-1/4}
+Mat2 gate_rz(double theta);     ///< diag(e^{-i theta/2}, e^{+i theta/2})
+Mat2 gate_rx(double theta);
+Mat2 gate_ry(double theta);
+Mat2 gate_phase(double theta);  ///< diag(1, e^{i theta})
+Mat2 gate_sqrt_x();             ///< sigma_x^{1/2}
+
+}  // namespace eqc::qsim

@@ -1,0 +1,91 @@
+// Dense state-vector simulator.
+//
+// Qubit q corresponds to bit q of the basis-state index (qubit 0 is the
+// least significant bit).  Practical up to ~24 qubits on a laptop-class
+// machine; the fault-tolerance experiments in this repository use <= 20.
+//
+// The simulator supports "internal" measurement (eqc::qsim::StateVector::
+// measure) which physically models collapse; whether a protocol is *allowed*
+// to observe the outcome is a property of the layer above (the ensemble
+// machine hides outcomes; the measurement-free protocols never call it).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "pauli/pauli_string.h"
+
+namespace eqc::qsim {
+
+class StateVector {
+ public:
+  /// |0...0> on `num_qubits` qubits.
+  explicit StateVector(std::size_t num_qubits);
+
+  /// Takes ownership of raw amplitudes (size must be a power of two).
+  static StateVector from_amplitudes(std::vector<cplx> amplitudes);
+
+  std::size_t num_qubits() const { return n_; }
+  std::uint64_t dim() const { return std::uint64_t{1} << n_; }
+  cplx amplitude(std::uint64_t basis_state) const;
+  const std::vector<cplx>& amplitudes() const { return amp_; }
+
+  // --- Unitary evolution -------------------------------------------------
+  void apply1(std::size_t q, const Mat2& u);
+  /// 2-qubit gate; `high` indexes the more significant qubit of the 4x4
+  /// matrix's 2-bit row index (row = 2*bit(high) + bit(low)).
+  void apply2(std::size_t high, std::size_t low, const Mat4& u);
+  /// U on `target`, controlled on every qubit in `controls` being |1>.
+  void apply_controlled(const std::vector<std::size_t>& controls,
+                        std::size_t target, const Mat2& u);
+  void apply_cnot(std::size_t control, std::size_t target);
+  void apply_cz(std::size_t a, std::size_t b);
+  void apply_swap(std::size_t a, std::size_t b);
+  /// Exact Pauli application including the operator's i^k phase.
+  void apply_pauli(const pauli::PauliString& p);
+
+  /// Applies the permutation |x> -> |pi(x)> over all basis states.
+  /// `pi` must be a bijection on [0, dim); verified in debug paths by the
+  /// caller (tests cover the library-provided permutations).
+  void apply_permutation(const std::function<std::uint64_t(std::uint64_t)>& pi);
+
+  /// Phase oracle: |x> -> -|x> for every x with predicate(x) true.
+  void apply_phase_oracle(const std::function<bool(std::uint64_t)>& predicate);
+
+  // --- Measurement and readout -------------------------------------------
+  /// Probability that qubit q reads 1.
+  double prob_one(std::size_t q) const;
+  /// <Z_q> = P(0) - P(1).
+  double expectation_z(std::size_t q) const;
+  /// Projective Z measurement with collapse; returns the outcome.
+  bool measure(std::size_t q, Rng& rng);
+  /// Discard-and-replace: measures q (outcome unobserved) and re-prepares
+  /// |0>.  Physically equivalent to swapping in a fresh ancilla when the old
+  /// qubit is never used again.
+  void reset(std::size_t q, Rng& rng);
+
+  // --- Analysis helpers ---------------------------------------------------
+  double norm() const;
+  void normalize();
+  /// <this|other>.
+  cplx inner_product(const StateVector& other) const;
+  /// |<this|other>|^2.
+  double fidelity(const StateVector& other) const;
+  /// Reduced density matrix on `qubits` (row-major, dim 2^k x 2^k, k <= 12).
+  /// qubits[0] is the least significant bit of the reduced index.
+  std::vector<cplx> reduced_density_matrix(
+      const std::vector<std::size_t>& qubits) const;
+  /// <phi| rho_qubits |phi> where |phi> is a pure state on `qubits`.
+  double subsystem_fidelity(const std::vector<std::size_t>& qubits,
+                            const std::vector<cplx>& phi) const;
+
+ private:
+  std::size_t n_;
+  std::vector<cplx> amp_;
+};
+
+}  // namespace eqc::qsim

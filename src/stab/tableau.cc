@@ -1,0 +1,369 @@
+#include "stab/tableau.h"
+
+#include <bit>
+
+#include "common/assert.h"
+
+namespace eqc::stab {
+
+namespace {
+
+// Word-parallel accumulation of the Aaronson-Gottesman phase function
+// g(P1, P2) summed over 64 qubits at once: returns (#+1 qubits) - (#-1).
+// Case analysis per qubit (P1 from (x1,z1), P2 from (x2,z2)):
+//   P1 = Y: g = z2 - x2;  P1 = X: g = z2(2x2-1);  P1 = Z: g = x2(1-2z2).
+inline int phase_g_word(std::uint64_t x1, std::uint64_t z1, std::uint64_t x2,
+                        std::uint64_t z2) {
+  const std::uint64_t c11 = x1 & z1;
+  const std::uint64_t c10 = x1 & ~z1;
+  const std::uint64_t c01 = ~x1 & z1;
+  const std::uint64_t plus =
+      (c11 & z2 & ~x2) | (c10 & z2 & x2) | (c01 & x2 & ~z2);
+  const std::uint64_t minus =
+      (c11 & x2 & ~z2) | (c10 & z2 & ~x2) | (c01 & x2 & z2);
+  return std::popcount(plus) - std::popcount(minus);
+}
+
+}  // namespace
+
+Tableau::Tableau(std::size_t num_qubits) : n_(num_qubits) {
+  EQC_EXPECTS(num_qubits > 0);
+  const std::size_t rows = 2 * n_ + 1;
+  x_.assign(rows, std::vector<std::uint64_t>(words(), 0));
+  z_.assign(rows, std::vector<std::uint64_t>(words(), 0));
+  r_.assign(rows, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    set_xbit(i, i, true);        // destabilizer i = X_i
+    set_zbit(n_ + i, i, true);   // stabilizer i = Z_i
+  }
+}
+
+bool Tableau::xbit(std::size_t row, std::size_t q) const {
+  return (x_[row][q >> 6] >> (q & 63)) & 1;
+}
+bool Tableau::zbit(std::size_t row, std::size_t q) const {
+  return (z_[row][q >> 6] >> (q & 63)) & 1;
+}
+void Tableau::set_xbit(std::size_t row, std::size_t q, bool v) {
+  if (v)
+    x_[row][q >> 6] |= std::uint64_t{1} << (q & 63);
+  else
+    x_[row][q >> 6] &= ~(std::uint64_t{1} << (q & 63));
+}
+void Tableau::set_zbit(std::size_t row, std::size_t q, bool v) {
+  if (v)
+    z_[row][q >> 6] |= std::uint64_t{1} << (q & 63);
+  else
+    z_[row][q >> 6] &= ~(std::uint64_t{1} << (q & 63));
+}
+
+void Tableau::h(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    const bool x = xbit(row, q);
+    const bool z = zbit(row, q);
+    r_[row] ^= static_cast<std::uint8_t>(x && z);
+    set_xbit(row, q, z);
+    set_zbit(row, q, x);
+  }
+}
+
+void Tableau::s(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    const bool x = xbit(row, q);
+    const bool z = zbit(row, q);
+    r_[row] ^= static_cast<std::uint8_t>(x && z);
+    set_zbit(row, q, z != x);
+  }
+}
+
+void Tableau::sdg(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    const bool x = xbit(row, q);
+    const bool z = zbit(row, q);
+    r_[row] ^= static_cast<std::uint8_t>(x && !z);
+    set_zbit(row, q, z != x);
+  }
+}
+
+void Tableau::x(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  for (std::size_t row = 0; row < 2 * n_; ++row)
+    r_[row] ^= static_cast<std::uint8_t>(zbit(row, q));
+}
+
+void Tableau::z(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  for (std::size_t row = 0; row < 2 * n_; ++row)
+    r_[row] ^= static_cast<std::uint8_t>(xbit(row, q));
+}
+
+void Tableau::y(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  for (std::size_t row = 0; row < 2 * n_; ++row)
+    r_[row] ^= static_cast<std::uint8_t>(xbit(row, q) != zbit(row, q));
+}
+
+void Tableau::cnot(std::size_t control, std::size_t target) {
+  EQC_EXPECTS(control < n_ && target < n_ && control != target);
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    const bool xc = xbit(row, control);
+    const bool zc = zbit(row, control);
+    const bool xt = xbit(row, target);
+    const bool zt = zbit(row, target);
+    r_[row] ^= static_cast<std::uint8_t>(xc && zt && (xt == zc));
+    set_xbit(row, target, xt != xc);
+    set_zbit(row, control, zc != zt);
+  }
+}
+
+void Tableau::cz(std::size_t a, std::size_t b) {
+  h(b);
+  cnot(a, b);
+  h(b);
+}
+
+void Tableau::swap(std::size_t a, std::size_t b) {
+  EQC_EXPECTS(a < n_ && b < n_ && a != b);
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    const bool xa = xbit(row, a), za = zbit(row, a);
+    const bool xb = xbit(row, b), zb = zbit(row, b);
+    set_xbit(row, a, xb);
+    set_zbit(row, a, zb);
+    set_xbit(row, b, xa);
+    set_zbit(row, b, za);
+  }
+}
+
+void Tableau::apply_pauli(const pauli::PauliString& p) {
+  EQC_EXPECTS(p.num_qubits() == n_);
+  // Conjugating a stabilizer row R by Pauli P flips R's sign iff they
+  // anticommute.
+  for (std::size_t row = 0; row < 2 * n_; ++row) {
+    int anti = 0;
+    for (std::size_t q : p.support()) {
+      const bool px = p.x_bit(q), pz = p.z_bit(q);
+      const bool rx = xbit(row, q), rz = zbit(row, q);
+      anti ^= static_cast<int>((px && rz) != (pz && rx));
+    }
+    r_[row] ^= static_cast<std::uint8_t>(anti);
+  }
+}
+
+void Tableau::row_mult(std::size_t h, std::size_t i) {
+  int total = 2 * r_[h] + 2 * r_[i];
+  for (std::size_t w = 0; w < words(); ++w)
+    total += phase_g_word(x_[i][w], z_[i][w], x_[h][w], z_[h][w]);
+  total = ((total % 4) + 4) % 4;
+  // Stabilizer rows and the scratch row always multiply to a Hermitian
+  // (+-1) operator; destabilizer rows may pick up an i, but their phases
+  // are meaningless and never observed (Aaronson-Gottesman).
+  if (h >= n_) EQC_CHECK(total % 2 == 0);
+  r_[h] = static_cast<std::uint8_t>(total / 2);
+  for (std::size_t w = 0; w < words(); ++w) {
+    x_[h][w] ^= x_[i][w];
+    z_[h][w] ^= z_[i][w];
+  }
+}
+
+void Tableau::row_copy(std::size_t dst, std::size_t src) {
+  x_[dst] = x_[src];
+  z_[dst] = z_[src];
+  r_[dst] = r_[src];
+}
+
+void Tableau::row_clear(std::size_t row) {
+  std::fill(x_[row].begin(), x_[row].end(), 0);
+  std::fill(z_[row].begin(), z_[row].end(), 0);
+  r_[row] = 0;
+}
+
+bool Tableau::measure(std::size_t q, Rng& rng) {
+  EQC_EXPECTS(q < n_);
+  // Look for a stabilizer generator that anticommutes with Z_q.
+  std::size_t p = 0;
+  bool random = false;
+  for (std::size_t i = n_; i < 2 * n_; ++i) {
+    if (xbit(i, q)) {
+      p = i;
+      random = true;
+      break;
+    }
+  }
+
+  if (random) {
+    for (std::size_t i = 0; i < 2 * n_; ++i)
+      if (i != p && xbit(i, q)) row_mult(i, p);
+    row_copy(p - n_, p);
+    row_clear(p);
+    set_zbit(p, q, true);
+    const bool outcome = rng.bernoulli(0.5);
+    r_[p] = static_cast<std::uint8_t>(outcome);
+    return outcome;
+  }
+
+  // Deterministic: accumulate the relevant stabilizers into the scratch row.
+  const std::size_t scratch = 2 * n_;
+  row_clear(scratch);
+  for (std::size_t i = 0; i < n_; ++i)
+    if (xbit(i, q)) row_mult(scratch, i + n_);
+  return r_[scratch] != 0;
+}
+
+bool Tableau::is_deterministic_z(std::size_t q) const {
+  EQC_EXPECTS(q < n_);
+  for (std::size_t i = n_; i < 2 * n_; ++i)
+    if (xbit(i, q)) return false;
+  return true;
+}
+
+bool Tableau::deterministic_z_value(std::size_t q) const {
+  EQC_EXPECTS(is_deterministic_z(q));
+  // Accumulate the product of the relevant stabilizer rows into local
+  // buffers (no tableau copy — this is a hot path for classical-control
+  // lowering during fault enumeration).
+  const std::size_t w = words();
+  std::vector<std::uint64_t> ax(w, 0), az(w, 0);
+  int total = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!xbit(i, q)) continue;
+    const std::size_t row = i + n_;
+    int t = 2 * r_[row];
+    for (std::size_t k = 0; k < w; ++k)
+      t += phase_g_word(x_[row][k], z_[row][k], ax[k], az[k]);
+    for (std::size_t k = 0; k < w; ++k) {
+      ax[k] ^= x_[row][k];
+      az[k] ^= z_[row][k];
+    }
+    total = ((total + t) % 4 + 4) % 4;
+  }
+  EQC_CHECK(total % 2 == 0);
+  return (total / 2) % 2 != 0;
+}
+
+double Tableau::expectation_z(std::size_t q) const {
+  if (!is_deterministic_z(q)) return 0.0;
+  return deterministic_z_value(q) ? -1.0 : 1.0;
+}
+
+void Tableau::reset(std::size_t q, Rng& rng) {
+  if (measure(q, rng)) x(q);
+}
+
+bool Tableau::measure_pauli(const pauli::PauliString& p, Rng& rng) {
+  EQC_EXPECTS(p.num_qubits() == n_);
+  EQC_EXPECTS(p.is_hermitian());
+  EQC_EXPECTS(!p.is_identity());
+
+  // Random case: some stabilizer generator anticommutes with p.
+  std::size_t pivot = 2 * n_ + 1;  // sentinel
+  for (std::size_t i = n_; i < 2 * n_; ++i) {
+    if (!row_to_pauli(i).commutes_with(p)) {
+      pivot = i;
+      break;
+    }
+  }
+  if (pivot <= 2 * n_) {
+    for (std::size_t i = 0; i < 2 * n_; ++i)
+      if (i != pivot && !row_to_pauli(i).commutes_with(p)) row_mult(i, pivot);
+    row_copy(pivot - n_, pivot);
+    // Install (-1)^outcome * p as the new stabilizer generator.  The row
+    // format stores Y at (x,z)=(1,1), so fold the i factors of p's literal
+    // XZ representation into the sign.
+    row_clear(pivot);
+    int n_y = 0;
+    for (std::size_t q = 0; q < n_; ++q) {
+      set_xbit(pivot, q, p.x_bit(q));
+      set_zbit(pivot, q, p.z_bit(q));
+      if (p.x_bit(q) && p.z_bit(q)) ++n_y;
+    }
+    const int base = ((p.phase() + 3 * n_y) % 4 + 4) % 4;
+    EQC_CHECK(base % 2 == 0);
+    const bool outcome = rng.bernoulli(0.5);
+    r_[pivot] = static_cast<std::uint8_t>((base / 2) ^ (outcome ? 1 : 0));
+    return outcome;
+  }
+
+  // Deterministic: p (or -p) is in the stabilizer group.
+  pauli::PauliString acc(n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    if (!p.commutes_with(destabilizer(i))) acc.multiply_by(stabilizer(i));
+  if (acc == p) return false;
+  pauli::PauliString minus_p = p;
+  minus_p.set_phase(p.phase() + 2);
+  EQC_CHECK(acc == minus_p);
+  return true;
+}
+
+double Tableau::expectation_pauli(const pauli::PauliString& p) const {
+  EQC_EXPECTS(p.num_qubits() == n_);
+  if (!p.is_hermitian()) return 0.0;
+  for (std::size_t i = 0; i < n_; ++i)
+    if (!p.commutes_with(stabilizer(i))) return 0.0;
+  pauli::PauliString acc(n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    if (!p.commutes_with(destabilizer(i))) acc.multiply_by(stabilizer(i));
+  if (acc == p) return 1.0;
+  pauli::PauliString minus_p = p;
+  minus_p.set_phase(p.phase() + 2);
+  if (acc == minus_p) return -1.0;
+  return 0.0;
+}
+
+pauli::PauliString Tableau::row_to_pauli(std::size_t row) const {
+  pauli::PauliString p(n_);
+  for (std::size_t q = 0; q < n_; ++q) {
+    const bool x = xbit(row, q);
+    const bool z = zbit(row, q);
+    if (x && z)
+      p.set(q, pauli::Pauli::Y);
+    else if (x)
+      p.set(q, pauli::Pauli::X);
+    else if (z)
+      p.set(q, pauli::Pauli::Z);
+  }
+  if (r_[row]) p.set_phase(p.phase() + 2);
+  return p;
+}
+
+pauli::PauliString Tableau::stabilizer(std::size_t i) const {
+  EQC_EXPECTS(i < n_);
+  return row_to_pauli(n_ + i);
+}
+
+pauli::PauliString Tableau::destabilizer(std::size_t i) const {
+  EQC_EXPECTS(i < n_);
+  return row_to_pauli(i);
+}
+
+bool Tableau::state_is_stabilized_by(const pauli::PauliString& p) const {
+  EQC_EXPECTS(p.num_qubits() == n_);
+  if (!p.is_hermitian()) return false;
+  // p must commute with every stabilizer generator.
+  for (std::size_t i = 0; i < n_; ++i)
+    if (!p.commutes_with(stabilizer(i))) return false;
+  // Express p in the stabilizer basis: the product over stabilizers s_i for
+  // which p anticommutes with destabilizer d_i.
+  pauli::PauliString acc(n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    if (!p.commutes_with(destabilizer(i))) acc.multiply_by(stabilizer(i));
+  return acc == p;
+}
+
+void Tableau::check_invariants() const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto si = stabilizer(i);
+    const auto di = destabilizer(i);
+    EQC_CHECK(!si.commutes_with(di));
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (j == i) continue;
+      EQC_CHECK(si.commutes_with(stabilizer(j)));
+      EQC_CHECK(si.commutes_with(destabilizer(j)));
+      EQC_CHECK(di.commutes_with(destabilizer(j)));
+    }
+  }
+}
+
+}  // namespace eqc::stab

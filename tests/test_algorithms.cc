@@ -1,0 +1,297 @@
+// Tests for the algorithm layer: Grover (+ repeat-and-sort), order finding
+// (+ coherent verification and randomize-bad-results), teleportation
+// variants, and the RNG impossibility demo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "algorithms/grover.h"
+#include "algorithms/order_finding.h"
+#include "algorithms/rng_demo.h"
+#include "algorithms/teleport.h"
+#include "common/assert.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "ensemble/machine.h"
+
+namespace eqc::algorithms {
+namespace {
+
+using ensemble::EnsembleMachine;
+
+// --- QFT --------------------------------------------------------------------
+
+class InverseQft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InverseQft, RecoverssPhaseBasisStates) {
+  const std::size_t t = 3;
+  const std::uint64_t y = GetParam();
+  const std::uint64_t dim = 1ULL << t;
+  // Prepare QFT|y> = sum_x e^{2 pi i x y / 2^t} |x> / sqrt(2^t).
+  std::vector<cplx> amp(dim);
+  for (std::uint64_t x = 0; x < dim; ++x)
+    amp[x] = std::polar(1.0 / std::sqrt(double(dim)),
+                        2.0 * M_PI * double(x) * double(y) / double(dim));
+  auto sv = qsim::StateVector::from_amplitudes(std::move(amp));
+  apply_inverse_qft(sv, 0, t);
+  EXPECT_NEAR(std::abs(sv.amplitude(y)), 1.0, 1e-9) << "y=" << y;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllY, InverseQft, ::testing::Range<std::size_t>(0, 8));
+
+TEST(InverseQft, LinearityOnSuperposition) {
+  const std::size_t t = 4;
+  const std::uint64_t dim = 1ULL << t;
+  // (QFT|3> + QFT|9>)/sqrt2 -> (|3> + |9>)/sqrt2.
+  std::vector<cplx> amp(dim, cplx{0, 0});
+  for (std::uint64_t x = 0; x < dim; ++x) {
+    for (std::uint64_t y : {3ull, 9ull})
+      amp[x] += std::polar(1.0 / std::sqrt(2.0 * dim),
+                           2.0 * M_PI * double(x * y) / double(dim));
+  }
+  auto sv = qsim::StateVector::from_amplitudes(std::move(amp));
+  apply_inverse_qft(sv, 0, t);
+  EXPECT_NEAR(std::norm(sv.amplitude(3)), 0.5, 1e-9);
+  EXPECT_NEAR(std::norm(sv.amplitude(9)), 0.5, 1e-9);
+}
+
+// --- Number theory helpers --------------------------------------------------
+
+TEST(NumberTheory, ModPow) {
+  EXPECT_EQ(mod_pow(7, 0, 15), 1u);
+  EXPECT_EQ(mod_pow(7, 1, 15), 7u);
+  EXPECT_EQ(mod_pow(7, 2, 15), 4u);
+  EXPECT_EQ(mod_pow(7, 4, 15), 1u);
+  EXPECT_EQ(mod_pow(2, 10, 1000), 24u);
+}
+
+TEST(NumberTheory, MultiplicativeOrder) {
+  EXPECT_EQ(multiplicative_order(7, 15), 4u);
+  EXPECT_EQ(multiplicative_order(2, 15), 4u);
+  EXPECT_EQ(multiplicative_order(2, 21), 6u);
+  EXPECT_EQ(multiplicative_order(4, 15), 2u);
+}
+
+TEST(NumberTheory, CandidateOrderFromGoodPhases) {
+  // t = 8, N = 15, a = 7 (order 4): y = 64 and 192 encode 1/4 and 3/4.
+  EXPECT_EQ(candidate_order(64, 8, 7, 15), 4u);
+  EXPECT_EQ(candidate_order(192, 8, 7, 15), 4u);
+  // y = 128 encodes 1/2 -> the convergent gives r = 2, which fails
+  // verification, but the standard denominator-doubling step recovers 4.
+  EXPECT_EQ(candidate_order(128, 8, 7, 15), 4u);
+  EXPECT_EQ(candidate_order(0, 8, 7, 15), 0u);
+  EXPECT_EQ(candidate_order(1, 8, 7, 15), 0u);
+}
+
+// --- Order finding -----------------------------------------------------------
+
+TEST(OrderFinding, PhaseRegisterPeaksAtMultiplesOfQuarter) {
+  OrderFindingParams p;  // N=15, a=7, t=8
+  const auto l = order_finding_layout(p);
+  qsim::StateVector sv(l.total);
+  apply_order_finding(sv, p);
+  // The order is 4 = power of two, so the distribution is exactly
+  // supported on y in {0, 64, 128, 192}, each with probability 1/4.
+  const std::uint64_t ymask = (1ULL << p.phase_bits) - 1;
+  std::vector<double> py(ymask + 1, 0.0);
+  for (std::uint64_t idx = 0; idx < sv.dim(); ++idx)
+    py[idx & ymask] += std::norm(sv.amplitude(idx));
+  for (std::uint64_t y : {0ull, 64ull, 128ull, 192ull})
+    EXPECT_NEAR(py[y], 0.25, 1e-9) << y;
+  EXPECT_NEAR(py[1], 0.0, 1e-9);
+}
+
+TEST(OrderFinding, RandomizedBadResultsYieldReadableOrder) {
+  OrderFindingParams p;
+  const auto l = order_finding_layout(p);
+
+  EnsembleMachine machine(l.total, 0, 1);
+  machine.apply([&](qsim::StateVector& sv) {
+    apply_order_finding(sv, p);
+    apply_coherent_verification(sv, p);
+    apply_randomize_bad_results(sv, p);
+  });
+  const auto z = machine.readout_all();
+  // P(good) = 3/4 (y = 64, 128, 192 all verify); answer = 4 = 0b100.
+  EXPECT_NEAR(z[l.answer0 + 2], -0.75, 1e-9);  // bit 2 set on good computers
+  EXPECT_NEAR(z[l.answer0 + 0], +0.75, 1e-9);
+  EXPECT_NEAR(z[l.answer0 + 1], +0.75, 1e-9);
+  // Thresholding the signs recovers the order.
+  const std::uint64_t decoded =
+      decode_readout(z, l.answer0, p.order_bits);
+  EXPECT_EQ(decoded, multiplicative_order(p.base, p.modulus));
+}
+
+TEST(OrderFinding, WithoutRandomizationBadResultsBiasTheSignal) {
+  OrderFindingParams p;
+  const auto l = order_finding_layout(p);
+  EnsembleMachine machine(l.total, 0, 1);
+  machine.apply([&](qsim::StateVector& sv) {
+    apply_order_finding(sv, p);
+    apply_coherent_verification(sv, p);
+    // no randomize-bad-results
+  });
+  const auto z = machine.readout_all();
+  // The bad computers (P = 1/4, answer register 0) do not average out: they
+  // add +P(bad) to every bit's signal, biasing bit 2 from -0.75 to -0.5.
+  // With enough bad outcomes (P(bad) > P(good)) the sign would flip and
+  // the decoded answer would be wrong — see bench_sec2_ensemble for a
+  // configuration where that happens.
+  EXPECT_NEAR(z[l.answer0 + 2], -0.5, 1e-9);
+  EXPECT_NEAR(z[l.answer0 + 0], +1.0 * 0.25 + 0.75, 1e-9);
+}
+
+// --- Grover ------------------------------------------------------------------
+
+TEST(Grover, SingleMarkedItemFound) {
+  GroverParams p;
+  p.num_bits = 3;
+  p.marked = {5};
+  qsim::StateVector sv(3);
+  apply_grover(sv, p, 0);
+  EXPECT_GT(success_probability(sv, p, 0), 0.9);
+  EXPECT_GT(std::norm(sv.amplitude(5)), 0.9);
+}
+
+TEST(Grover, SingleMarkedItemReadableOnEnsemble) {
+  GroverParams p;
+  p.num_bits = 3;
+  p.marked = {5};
+  EnsembleMachine m(3, 0, 1);
+  m.apply([&](qsim::StateVector& sv) { apply_grover(sv, p, 0); });
+  const auto z = m.readout_all();
+  EXPECT_EQ(decode_readout(z, 0, 3), 5u);
+}
+
+TEST(Grover, TwoSolutionsWashOutTheDisagreeingBit) {
+  // Solutions 1 = 0b001 and 6 = 0b110 disagree on every bit: all three
+  // expectation signals collapse toward 0 and the readout is useless.
+  GroverParams p;
+  p.num_bits = 3;
+  p.marked = {1, 6};
+  EnsembleMachine m(3, 0, 1);
+  m.apply([&](qsim::StateVector& sv) { apply_grover(sv, p, 0); });
+  const auto z = m.readout_all();
+  for (std::size_t b = 0; b < 3; ++b) EXPECT_LT(std::abs(z[b]), 0.1) << b;
+  // Yet every computer DID find a solution:
+  qsim::StateVector sv(3);
+  apply_grover(sv, p, 0);
+  EXPECT_GT(success_probability(sv, p, 0), 0.9);
+}
+
+TEST(Grover, RepeatAndSortRecoversTheMinimumSolution) {
+  GroverParams p;
+  p.num_bits = 3;
+  p.marked = {1, 6};
+  const std::size_t repeats = 4;
+  const std::size_t width = repeat_and_sort_width(p, repeats);
+  EnsembleMachine m(width, 0, 1);
+  m.apply([&](qsim::StateVector& sv) {
+    apply_repeat_and_sort(sv, p, repeats);
+  });
+  const auto z = m.readout_all();
+  // Register 0 (the minimum of 4 draws) concentrates on solution 1:
+  // P(all draws = 6) ~ (1/2)^4, so the signal is strong.
+  EXPECT_EQ(decode_readout(z, 0, 3), 1u);
+  EXPECT_LT(z[0], -0.7);  // bit 0 of "1" clearly set
+}
+
+TEST(Grover, SortNetworkIsExactOnClassicalInputs) {
+  // Feed basis states through the comparator network: register 0 must end
+  // as the minimum, register 1 as the maximum.
+  GroverParams p;
+  p.num_bits = 2;
+  for (std::uint64_t a = 0; a < 4; ++a) {
+    for (std::uint64_t b = 0; b < 4; ++b) {
+      qsim::StateVector sv(5);  // 2 registers + 1 flag
+      // Prepare |a>|b>: set bits.
+      std::vector<cplx> amp(32, cplx{0, 0});
+      amp[a | (b << 2)] = 1.0;
+      sv = qsim::StateVector::from_amplitudes(std::move(amp));
+      // One comparator via the same permutation used in repeat_and_sort:
+      // reuse apply_repeat_and_sort's building block indirectly by sorting
+      // two registers with repeats=2 equivalent — construct manually:
+      sv.apply_permutation([&](std::uint64_t idx) {
+        const std::uint64_t ra = idx & 3;
+        const std::uint64_t rb = (idx >> 2) & 3;
+        const bool f_in = (idx >> 4) & 1;
+        const bool f_out = f_in != (ra > rb);
+        std::uint64_t out = idx & ~std::uint64_t{0x1F};
+        out |= (f_out ? rb : ra);
+        out |= (f_out ? ra : rb) << 2;
+        if (f_out) out |= 1ULL << 4;
+        return out;
+      });
+      EXPECT_NEAR(std::norm(sv.amplitude(std::min(a, b) |
+                                         (std::max(a, b) << 2) |
+                                         ((a > b ? 1ull : 0ull) << 4))),
+                  1.0, 1e-12)
+          << a << "," << b;
+    }
+  }
+}
+
+// --- Teleportation -----------------------------------------------------------
+
+TEST(Teleport, StandardProtocolIsPerfectPerComputer) {
+  Rng rng(5);
+  const double inv = 1.0 / std::sqrt(2.0);
+  for (const Qubit& q :
+       {Qubit{1.0, 0.0}, Qubit{inv, inv}, Qubit{0.6, cplx{0.0, 0.8}}}) {
+    for (int rep = 0; rep < 10; ++rep)
+      EXPECT_NEAR(teleport_standard(q, rng), 1.0, 1e-9);
+  }
+}
+
+TEST(Teleport, EnsembleAttemptAveragesToHalf) {
+  Rng rng(6);
+  const Qubit q{0.6, cplx{0.0, 0.8}};
+  RunningStats stats;
+  for (int rep = 0; rep < 4000; ++rep)
+    stats.add(teleport_ensemble_attempt(q, rng));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.03);
+}
+
+TEST(Teleport, FullyQuantumIsPerfectAndMeasurementFree) {
+  const double inv = 1.0 / std::sqrt(2.0);
+  for (const Qubit& q :
+       {Qubit{1.0, 0.0}, Qubit{inv, inv}, Qubit{0.6, cplx{0.0, 0.8}},
+        Qubit{inv, cplx{0.0, -inv}}}) {
+    EXPECT_NEAR(teleport_fully_quantum(q), 1.0, 1e-9);
+  }
+}
+
+// --- RNG impossibility ---------------------------------------------------------
+
+TEST(RngDemo, SingleComputerProducesEntropy) {
+  Rng rng(7);
+  const auto bits = single_computer_rng(0.5, 4000, rng);
+  EXPECT_GT(empirical_entropy(bits), 0.99);
+  const auto biased = single_computer_rng(0.9, 4000, rng);
+  const double h = empirical_entropy(biased);
+  EXPECT_GT(h, 0.3);
+  EXPECT_LT(h, 0.7);  // H(0.1) ~ 0.47
+}
+
+TEST(RngDemo, EnsembleReadoutIsDeterministic) {
+  const auto readouts = ensemble_rng_readouts(0.7, 10000, 20, 42);
+  RunningStats stats;
+  for (double r : readouts) stats.add(r);
+  // All readouts cluster tightly at 2 p0 - 1 = 0.4: no extractable entropy.
+  EXPECT_NEAR(stats.mean(), 0.4, 0.02);
+  EXPECT_LT(stats.stddev(), 0.03);
+  // Thresholded "bits" are constant -> zero entropy.
+  std::vector<bool> bits;
+  for (double r : readouts) bits.push_back(r > 0.0);
+  EXPECT_EQ(empirical_entropy(bits), 0.0);
+}
+
+TEST(RngDemo, EntropyHelperEdgeCases) {
+  EXPECT_EQ(empirical_entropy({}), 0.0);
+  EXPECT_EQ(empirical_entropy({true, true}), 0.0);
+  EXPECT_NEAR(empirical_entropy({true, false}), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace eqc::algorithms

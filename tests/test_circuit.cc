@@ -1,0 +1,340 @@
+// Tests for the circuit IR, scheduler, executor, fault sites and injectors.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "circuit/circuit.h"
+#include "circuit/execute.h"
+#include "circuit/schedule.h"
+#include "circuit/sv_backend.h"
+#include "circuit/tab_backend.h"
+#include "common/assert.h"
+#include "common/rng.h"
+#include "noise/model.h"
+
+namespace eqc::circuit {
+namespace {
+
+using pauli::Pauli;
+using pauli::PauliString;
+
+TEST(Circuit, BuilderRecordsOps) {
+  Circuit c(3);
+  c.h(0).cnot(0, 1).ccx(0, 1, 2);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.ops()[0].kind, OpKind::H);
+  EXPECT_EQ(c.ops()[1].kind, OpKind::CNOT);
+  EXPECT_EQ(c.ops()[2].kind, OpKind::CCX);
+  EXPECT_EQ(c.ops()[2].q[2], 2u);
+}
+
+TEST(Circuit, RejectsBadOperands) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), ContractViolation);
+  EXPECT_THROW(c.cnot(0, 0), ContractViolation);
+  EXPECT_THROW(c.cnot(0, 5), ContractViolation);
+}
+
+TEST(Circuit, MeasureAllocatesSlots) {
+  Circuit c(2);
+  const auto s0 = c.measure_z(0);
+  const auto s1 = c.measure_z(1);
+  EXPECT_EQ(s0, 0u);
+  EXPECT_EQ(s1, 1u);
+  EXPECT_EQ(c.num_cbits(), 2u);
+}
+
+TEST(Circuit, ClassicalFuncGuardsConditionedOps) {
+  Circuit c(2);
+  const auto slot = c.measure_z(0);
+  const auto f = c.cbit_func(slot);
+  c.x_if(f, 1);
+  EXPECT_EQ(c.ops().back().kind, OpKind::XIfC);
+  EXPECT_THROW(c.x_if(99, 1), ContractViolation);
+}
+
+TEST(Schedule, ParallelOpsShareMoment) {
+  Circuit c(4);
+  c.h(0).h(1).h(2).h(3).cnot(0, 1).cnot(2, 3);
+  const auto sched = schedule(c);
+  EXPECT_EQ(sched.depth(), 2u);
+  EXPECT_EQ(sched.moments[0].size(), 4u);
+  EXPECT_EQ(sched.moments[1].size(), 2u);
+}
+
+TEST(Schedule, DependentOpsSequenced) {
+  Circuit c(2);
+  c.h(0).cnot(0, 1).h(0);
+  const auto sched = schedule(c);
+  EXPECT_EQ(sched.depth(), 3u);
+}
+
+TEST(Schedule, IdleLocationsCounted) {
+  Circuit c(2);
+  // Qubit 1 is used at moments 0 and 2 (the CNOT waits for qubit 0);
+  // it idles at moment 1.
+  c.h(1).h(0).h(0).cnot(0, 1);
+  const auto sched = schedule(c);
+  ASSERT_EQ(sched.depth(), 3u);
+  EXPECT_EQ(sched.idle[1].size(), 1u);
+  EXPECT_EQ(sched.idle[1][0], 1u);
+  EXPECT_EQ(sched.total_idle_locations(), 1u);
+}
+
+TEST(Schedule, ClassicalDependencyOrdersConditionedOp) {
+  Circuit c(2);
+  const auto slot = c.measure_z(0);
+  const auto f = c.cbit_func(slot);
+  c.x_if(f, 1);
+  const auto sched = schedule(c);
+  // x_if must come strictly after the measurement's moment.
+  EXPECT_GE(sched.depth(), 2u);
+}
+
+TEST(Execute, BellCircuitOnBothBackends) {
+  Circuit c(2);
+  c.h(0).cnot(0, 1);
+  {
+    SvBackend b(2, Rng(1));
+    execute(c, b);
+    EXPECT_NEAR(b.state().prob_one(0), 0.5, 1e-9);
+  }
+  {
+    TabBackend b(2, Rng(1));
+    execute(c, b);
+    EXPECT_FALSE(b.tableau().is_deterministic_z(0));
+    EXPECT_TRUE(b.tableau().state_is_stabilized_by(
+        PauliString::from_string("XX")));
+  }
+}
+
+TEST(Execute, MeasurementFeedsClassicalControl) {
+  // Quantum teleport-like feed-forward: X on qubit 1 iff qubit 0 measured 1.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Circuit c(2);
+    c.h(0);
+    const auto m = c.measure_z(0);
+    const auto f = c.cbit_func(m);
+    c.x_if(f, 1);
+    TabBackend b(2, Rng(seed));
+    const auto result = execute(c, b);
+    // Qubit 1 now equals the measured bit.
+    EXPECT_EQ(b.tableau().deterministic_z_value(1), result.cbits[0]);
+  }
+}
+
+TEST(Execute, DerivedClassicalFunction) {
+  // Majority of three measured bits controls an X.
+  Circuit c(4);
+  c.x(0).x(1);  // bits: 1,1,0 -> majority 1
+  const auto m0 = c.measure_z(0);
+  const auto m1 = c.measure_z(1);
+  const auto m2 = c.measure_z(2);
+  const auto maj = c.add_classical_func([=](const std::vector<bool>& bits) {
+    return (bits[m0] && bits[m1]) || (bits[m0] && bits[m2]) ||
+           (bits[m1] && bits[m2]);
+  });
+  c.x_if(maj, 3);
+  TabBackend b(4, Rng(5));
+  execute(c, b);
+  EXPECT_EQ(b.tableau().expectation_z(3), -1.0);
+}
+
+TEST(Execute, CcxLowersOnClassicalControls) {
+  Circuit c(3);
+  c.x(0).x(1).ccx(0, 1, 2);
+  TabBackend b(3, Rng(1));
+  execute(c, b);
+  EXPECT_EQ(b.tableau().expectation_z(2), -1.0);
+
+  Circuit c2(3);
+  c2.x(0).ccx(0, 1, 2);  // second control is 0
+  TabBackend b2(3, Rng(1));
+  execute(c2, b2);
+  EXPECT_EQ(b2.tableau().expectation_z(2), 1.0);
+}
+
+TEST(Execute, CcxOnSuperposedControlsThrowsOnTableau) {
+  Circuit c(3);
+  c.h(0).h(1).ccx(0, 1, 2);
+  TabBackend b(3, Rng(1));
+  EXPECT_THROW(execute(c, b), ContractViolation);
+  // The state vector handles it fine.
+  SvBackend sb(3, Rng(1));
+  EXPECT_NO_THROW(execute(c, sb));
+  EXPECT_NEAR(sb.state().prob_one(2), 0.25, 1e-9);
+}
+
+TEST(Execute, CczLowersViaAnyClassicalParticipant) {
+  Circuit c(3);
+  c.h(0).h(1).x(2).ccz(0, 1, 2);  // qubit 2 classical |1> -> CZ(0,1)
+  TabBackend b(3, Rng(1));
+  execute(c, b);
+  // After H H CZ the state is stabilized by XZ on (0,1).
+  EXPECT_TRUE(b.tableau().state_is_stabilized_by(
+      PauliString::from_string("XZI")));
+}
+
+TEST(Execute, TGateRejectedOnTableau) {
+  Circuit c(1);
+  c.t(0);
+  TabBackend b(1, Rng(1));
+  EXPECT_THROW(execute(c, b), ContractViolation);
+}
+
+TEST(Execute, PrepZResetsMidCircuit) {
+  Circuit c(2);
+  c.h(0).cnot(0, 1).prep_z(0).h(1);
+  TabBackend b(2, Rng(3));
+  execute(c, b);
+  EXPECT_EQ(b.tableau().expectation_z(0), 1.0);
+}
+
+TEST(FaultSites, EnumerationMatchesExecutionOrder) {
+  Circuit c(3);
+  c.h(0).cnot(0, 1).prep_z(2).cnot(1, 2);
+  const auto stat = enumerate_fault_sites(c);
+  TabBackend b(3, Rng(1));
+  SiteCollector collector;
+  execute(c, b, &collector);
+  ASSERT_EQ(stat.size(), collector.sites().size());
+  for (std::size_t i = 0; i < stat.size(); ++i) {
+    EXPECT_EQ(stat[i].ordinal, collector.sites()[i].ordinal);
+    EXPECT_EQ(stat[i].kind, collector.sites()[i].kind);
+    EXPECT_EQ(stat[i].qubits, collector.sites()[i].qubits);
+    EXPECT_EQ(stat[i].moment, collector.sites()[i].moment);
+  }
+}
+
+TEST(FaultSites, InputSitesIncludedWhenRequested) {
+  Circuit c(3);
+  c.h(0).cnot(0, 1);  // qubit 2 never used -> no input site for it
+  ExecOptions opt;
+  opt.include_input_sites = true;
+  const auto sites = enumerate_fault_sites(c, opt);
+  int inputs = 0;
+  for (const auto& s : sites)
+    if (s.kind == FaultSite::Kind::Input) ++inputs;
+  EXPECT_EQ(inputs, 2);
+}
+
+TEST(FaultSites, MeasureSiteComesBeforeReadout) {
+  // Planting X right before a measurement flips the recorded bit.
+  Circuit c(1);
+  const auto slot = c.measure_z(0);
+  const auto sites = enumerate_fault_sites(c);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].kind, FaultSite::Kind::MeasureInput);
+
+  PlantedInjector inj;
+  inj.plant(sites[0].ordinal, PauliString::single(1, 0, Pauli::X));
+  TabBackend b(1, Rng(1));
+  const auto result = execute(c, b, &inj);
+  EXPECT_TRUE(result.cbits[slot]);
+}
+
+TEST(FaultSites, PlantedFaultMustRespectSiteQubits) {
+  Circuit c(2);
+  c.h(0).h(1);
+  const auto sites = enumerate_fault_sites(c);
+  PlantedInjector inj;
+  // Fault on qubit 1 planted at a site for qubit 0: contract violation.
+  inj.plant(sites[0].ordinal, PauliString::single(2, 1, Pauli::X));
+  TabBackend b(2, Rng(1));
+  if (sites[0].qubits[0] == 0) {
+    EXPECT_THROW(execute(c, b, &inj), ContractViolation);
+  }
+}
+
+TEST(FaultSites, PlantedPairBothApplied) {
+  Circuit c(2);
+  c.h(0).h(0).h(1).h(1);  // H H = identity; planted X errors persist
+  const auto sites = enumerate_fault_sites(c);
+  ASSERT_GE(sites.size(), 4u);
+  PlantedInjector inj;
+  // After the second H on each qubit, plant an X.
+  for (const auto& s : sites)
+    if (s.moment == 1)
+      inj.plant(s.ordinal, PauliString::single(2, s.qubits[0], Pauli::X));
+  TabBackend b(2, Rng(1));
+  execute(c, b, &inj);
+  EXPECT_EQ(b.tableau().expectation_z(0), -1.0);
+  EXPECT_EQ(b.tableau().expectation_z(1), -1.0);
+}
+
+TEST(Noise, ZeroProbabilityInjectsNothing) {
+  Circuit c(2);
+  for (int i = 0; i < 50; ++i) c.h(0).cnot(0, 1);
+  noise::StochasticInjector inj(noise::NoiseModel::depolarizing(0.0), Rng(1));
+  TabBackend b(2, Rng(2));
+  execute(c, b, &inj);
+  EXPECT_EQ(inj.errors_injected(), 0u);
+}
+
+TEST(Noise, InjectionRateTracksP) {
+  Circuit c(1);
+  for (int i = 0; i < 200; ++i) c.x(0);
+  noise::StochasticInjector inj(noise::NoiseModel::depolarizing(0.1), Rng(4));
+  TabBackend b(1, Rng(2));
+  execute(c, b, &inj);
+  EXPECT_NEAR(inj.errors_injected() / 200.0, 0.1, 0.06);
+}
+
+TEST(Noise, BitFlipChannelOnlyFlipsBits) {
+  // On |0>, bit-flip noise can flip the value but never makes it random.
+  Circuit c(1);
+  for (int i = 0; i < 100; ++i) c.idle(0);
+  c.x(0);
+  noise::StochasticInjector inj(noise::NoiseModel::bit_flip(0.2), Rng(6));
+  TabBackend b(1, Rng(2));
+  execute(c, b, &inj);
+  EXPECT_TRUE(b.tableau().is_deterministic_z(0));
+}
+
+TEST(Noise, SampleErrorCoversAllPaulisOnOneQubit) {
+  Rng rng(8);
+  bool saw[4] = {false, false, false, false};
+  for (int i = 0; i < 200; ++i) {
+    const auto e = noise::sample_error(noise::Channel::Depolarizing, {0}, 1, rng);
+    saw[static_cast<int>(e.get(0))] = true;
+  }
+  EXPECT_FALSE(saw[0]);  // never identity
+  EXPECT_TRUE(saw[1] && saw[2] && saw[3]);
+}
+
+TEST(Noise, TwoQubitDepolarizingCovers15) {
+  Rng rng(9);
+  std::set<std::string> seen;
+  for (int i = 0; i < 2000; ++i)
+    seen.insert(
+        noise::sample_error(noise::Channel::Depolarizing, {0, 1}, 2, rng)
+            .to_string());
+  EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(CircuitAppend, RebasesClassicalSlots) {
+  Circuit inner(2);
+  const auto m = inner.measure_z(0);
+  const auto f = inner.cbit_func(m);
+  inner.x_if(f, 1);
+
+  Circuit outer(2);
+  outer.x(0);
+  const auto m0 = outer.measure_z(0);  // slot 0 of outer
+  (void)m0;
+  outer.x(0);  // back to |0>... then measure |1> again for inner
+  outer.x(0);
+  outer.append(inner);
+
+  TabBackend b(2, Rng(3));
+  const auto result = execute(outer, b);
+  ASSERT_EQ(result.cbits.size(), 2u);
+  EXPECT_TRUE(result.cbits[0]);
+  // Inner circuit measured |1> (x applied twice then once more = |1>).
+  EXPECT_TRUE(result.cbits[1]);
+  EXPECT_EQ(b.tableau().expectation_z(1), -1.0);
+}
+
+}  // namespace
+}  // namespace eqc::circuit

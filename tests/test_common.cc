@@ -1,0 +1,186 @@
+// Unit tests for the common substrate: RNG, matrices, statistics, contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/assert.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace eqc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues reached
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroViolatesContract) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndReproducible) {
+  Rng parent1(99), parent2(99);
+  Rng child1 = parent1.split();
+  Rng child2 = parent2.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1(), child2());
+  // Parent continues deterministically after the split.
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(parent1(), parent2());
+}
+
+TEST(Matrix, IdentityIsUnitary) {
+  EXPECT_TRUE(Mat2::identity().is_unitary());
+  EXPECT_TRUE(Mat4::identity().is_unitary());
+}
+
+TEST(Matrix, ProductAndAdjoint) {
+  Mat2 h;
+  const double s = 1.0 / std::sqrt(2.0);
+  h(0, 0) = s;
+  h(0, 1) = s;
+  h(1, 0) = s;
+  h(1, 1) = -s;
+  EXPECT_TRUE(h.is_unitary());
+  EXPECT_TRUE(approx_equal(h * h, Mat2::identity()));
+  EXPECT_TRUE(approx_equal(h.adjoint(), h));
+}
+
+TEST(Matrix, NonUnitaryDetected) {
+  Mat2 m;
+  m(0, 0) = 2.0;
+  EXPECT_FALSE(m.is_unitary());
+}
+
+TEST(Matrix, ApproxEqualUpToPhase) {
+  Mat2 a = Mat2::identity();
+  Mat2 b = cplx{0, 1} * Mat2::identity();
+  EXPECT_FALSE(approx_equal(a, b));
+  EXPECT_TRUE(approx_equal_up_to_phase(a, b));
+}
+
+TEST(Matrix, KroneckerOfIdentities) {
+  EXPECT_TRUE(approx_equal(kron(Mat2::identity(), Mat2::identity()),
+                           Mat4::identity()));
+}
+
+TEST(Matrix, KroneckerOrdering) {
+  Mat2 z = Mat2::identity();
+  z(1, 1) = -1;
+  // Z (x) I: sign depends on the high bit.
+  const Mat4 zi = kron(z, Mat2::identity());
+  EXPECT_EQ(zi(0, 0), cplx(1, 0));
+  EXPECT_EQ(zi(1, 1), cplx(1, 0));
+  EXPECT_EQ(zi(2, 2), cplx(-1, 0));
+  EXPECT_EQ(zi(3, 3), cplx(-1, 0));
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, WilsonIntervalContainsTruth) {
+  const auto iv = wilson_interval(30, 100);
+  EXPECT_NEAR(iv.center, 0.3, 1e-12);
+  EXPECT_LT(iv.low, 0.3);
+  EXPECT_GT(iv.high, 0.3);
+  EXPECT_GE(iv.low, 0.0);
+  EXPECT_LE(iv.high, 1.0);
+}
+
+TEST(Stats, WilsonIntervalZeroTrials) {
+  const auto iv = wilson_interval(0, 0);
+  EXPECT_EQ(iv.center, 0.0);
+}
+
+TEST(Stats, WilsonIntervalExtremes) {
+  const auto zero = wilson_interval(0, 50);
+  EXPECT_EQ(zero.center, 0.0);
+  EXPECT_GT(zero.high, 0.0);  // still uncertain
+  const auto all = wilson_interval(50, 50);
+  EXPECT_EQ(all.center, 1.0);
+  EXPECT_LT(all.low, 1.0);
+}
+
+TEST(Stats, FailureCounter) {
+  FailureCounter c;
+  c.add(true);
+  c.add(false);
+  c.add(false);
+  c.add(true);
+  EXPECT_EQ(c.trials, 4u);
+  EXPECT_EQ(c.failures, 2u);
+  EXPECT_DOUBLE_EQ(c.rate(), 0.5);
+}
+
+TEST(Contracts, MacrosThrow) {
+  EXPECT_THROW(EQC_EXPECTS(false), ContractViolation);
+  EXPECT_THROW(EQC_ENSURES(false), ContractViolation);
+  EXPECT_THROW(EQC_CHECK(false), ContractViolation);
+  EXPECT_NO_THROW(EQC_EXPECTS(true));
+}
+
+}  // namespace
+}  // namespace eqc

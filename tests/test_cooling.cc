@@ -1,0 +1,96 @@
+// Tests for algorithmic cooling (the paper's cited ancilla-reset mechanism
+// for ensemble computers).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/cooling.h"
+#include "common/assert.h"
+#include "common/rng.h"
+#include "ensemble/machine.h"
+
+namespace eqc::algorithms {
+namespace {
+
+TEST(Cooling, BiasedPreparationHasRequestedExpectation) {
+  for (double eps : {0.0, 0.1, 0.3, 0.7, 1.0}) {
+    qsim::StateVector sv(1);
+    prepare_biased_qubit(sv, 0, eps);
+    EXPECT_NEAR(sv.expectation_z(0), eps, 1e-10) << eps;
+  }
+}
+
+TEST(Cooling, CompressionBiasFormula) {
+  EXPECT_DOUBLE_EQ(compression_bias(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(compression_bias(1.0), 1.0);
+  EXPECT_NEAR(compression_bias(0.1), 0.1495, 1e-10);
+  // Small-eps limit: ~ 3 eps / 2.
+  EXPECT_NEAR(compression_bias(0.01) / 0.01, 1.5, 1e-3);
+}
+
+TEST(Cooling, BasicCompressionBoostsTheLeader) {
+  for (double eps : {0.05, 0.2, 0.5}) {
+    qsim::StateVector sv(3);
+    for (std::size_t q = 0; q < 3; ++q) prepare_biased_qubit(sv, q, eps);
+    apply_basic_compression(sv, 0, 1, 2);
+    EXPECT_NEAR(sv.expectation_z(0), compression_bias(eps), 1e-10) << eps;
+  }
+}
+
+TEST(Cooling, CompressionIsAPermutation) {
+  // Norm preservation on a fully mixed-like uniform superposition implies
+  // the map was bijective (apply_permutation checks this internally too).
+  qsim::StateVector sv(3);
+  for (std::size_t q = 0; q < 3; ++q) prepare_biased_qubit(sv, q, 0.3);
+  EXPECT_NO_THROW(apply_basic_compression(sv, 0, 1, 2));
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Cooling, CompressionConservesTotalZPolarizationBudget) {
+  // Reversible dynamics cannot create polarization from nothing: the
+  // leader's gain is paid for by the other two qubits.
+  const double eps = 0.2;
+  qsim::StateVector sv(3);
+  for (std::size_t q = 0; q < 3; ++q) prepare_biased_qubit(sv, q, eps);
+  apply_basic_compression(sv, 0, 1, 2);
+  const double total =
+      sv.expectation_z(0) + sv.expectation_z(1) + sv.expectation_z(2);
+  EXPECT_LT(sv.expectation_z(1) + sv.expectation_z(2), 2 * eps);
+  EXPECT_LT(total, 3 * eps + 1e-9);  // no free polarization
+}
+
+TEST(Cooling, RecursiveCoolingMatchesPrediction) {
+  const double eps = 0.3;
+  qsim::StateVector sv(9);
+  for (std::size_t q = 0; q < 9; ++q) prepare_biased_qubit(sv, q, eps);
+  const auto leader = apply_recursive_cooling(sv, 0, 2);
+  EXPECT_EQ(leader, 0u);
+  EXPECT_NEAR(sv.expectation_z(leader), recursive_bias(eps, 2), 1e-10);
+  EXPECT_GT(sv.expectation_z(leader), eps * 1.8);  // ~ (3/2)^2 boost
+}
+
+TEST(Cooling, RecursiveBiasFormula) {
+  EXPECT_NEAR(recursive_bias(0.01, 3), 0.01 * std::pow(1.5, 3), 1e-5);
+}
+
+TEST(Cooling, DepthLimitsEnforced) {
+  qsim::StateVector sv(3);
+  EXPECT_THROW(apply_recursive_cooling(sv, 0, 0), ContractViolation);
+  EXPECT_THROW(apply_recursive_cooling(sv, 0, 2), ContractViolation);  // 9 > 3
+}
+
+TEST(Cooling, EnsembleMachineObservesTheBoost) {
+  // On the ensemble machine the polarization boost is directly visible in
+  // the expectation readout — no measurement anywhere, as required.
+  ensemble::EnsembleMachine m(3, 0, 1);
+  const double eps = 0.25;
+  m.apply([&](qsim::StateVector& sv) {
+    for (std::size_t q = 0; q < 3; ++q) prepare_biased_qubit(sv, q, eps);
+    apply_basic_compression(sv, 0, 1, 2);
+  });
+  EXPECT_NEAR(m.readout_z(0), compression_bias(eps), 1e-10);
+  EXPECT_GT(m.readout_z(0), eps);
+}
+
+}  // namespace
+}  // namespace eqc::algorithms

@@ -1,0 +1,179 @@
+// Tests for the ensemble quantum computer model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "circuit/circuit.h"
+#include "common/assert.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "ensemble/machine.h"
+#include "qsim/gates.h"
+
+namespace eqc::ensemble {
+namespace {
+
+using circuit::Circuit;
+
+TEST(EnsembleMachine, ExactModeReadsExpectations) {
+  EnsembleMachine m(2, 0, /*seed=*/1);
+  Circuit c(2);
+  c.x(0).h(1);
+  m.run(c);
+  EXPECT_NEAR(m.readout_z(0), -1.0, 1e-12);
+  EXPECT_NEAR(m.readout_z(1), 0.0, 1e-12);
+}
+
+TEST(EnsembleMachine, SampledModeMatchesExactInNoiselessCase) {
+  EnsembleMachine m(1, 50, 3);
+  Circuit c(1);
+  c.h(0).s(0).h(0);  // <Z> = 0 after H S H? (HSH is sqrt-X-like)
+  m.run(c);
+  EnsembleMachine exact(1, 0, 3);
+  exact.run(c);
+  EXPECT_NEAR(m.readout_z(0), exact.readout_z(0), 1e-9);
+}
+
+TEST(EnsembleMachine, RejectsMeasurementPrograms) {
+  EnsembleMachine m(2, 0, 1);
+  Circuit c(2);
+  c.h(0);
+  c.measure_z(0);
+  EXPECT_THROW(m.run(c), ContractViolation);
+}
+
+TEST(EnsembleMachine, RejectsClassicallyConditionedPrograms) {
+  EnsembleMachine m(2, 0, 1);
+  Circuit c(2);
+  const auto slot = c.measure_z(0);
+  const auto f = c.cbit_func(slot);
+  c.x_if(f, 1);
+  EXPECT_THROW(m.run(c), ContractViolation);
+}
+
+TEST(EnsembleMachine, RejectsNoiseInExactMode) {
+  EnsembleMachine m(1, 0, 1);
+  Circuit c(1);
+  c.h(0);
+  const auto model = noise::NoiseModel::depolarizing(0.01);
+  EXPECT_THROW(m.run(c, &model), ContractViolation);
+}
+
+TEST(EnsembleMachine, ShotNoiseShrinksWithEnsembleSize) {
+  // Standard deviation of the sampled readout of |+> scales as 1/sqrt(M).
+  auto readout_std = [](std::size_t m_size, std::uint64_t seed) {
+    RunningStats stats;
+    for (int t = 0; t < 60; ++t) {
+      EnsembleMachine m(1, m_size, seed + t);
+      Circuit c(1);
+      c.h(0);
+      m.run(c);
+      stats.add(m.readout_z(0, /*shot_sampled=*/true));
+    }
+    return stats.stddev();
+  };
+  const double small = readout_std(25, 11);
+  const double big = readout_std(2500, 13);
+  EXPECT_GT(small, 3.0 * big);  // ~10x expected
+}
+
+TEST(EnsembleMachine, NoiseDecoheresTheEnsemble) {
+  // Depolarizing noise on repeated idles drives <Z> of |0> toward 0.
+  EnsembleMachine noisy(1, 400, 17);
+  Circuit c(1);
+  for (int i = 0; i < 30; ++i) c.idle(0);
+  const auto model = noise::NoiseModel::depolarizing(0.05);
+  noisy.run(c, &model);
+  const double z = noisy.readout_z(0);
+  EXPECT_LT(z, 0.5);
+  EXPECT_GT(z, -0.2);  // decayed toward 0, not inverted
+}
+
+TEST(EnsembleMachine, ApplyRunsArbitraryPrograms) {
+  EnsembleMachine m(3, 0, 1);
+  m.apply([](qsim::StateVector& sv) {
+    sv.apply1(0, qsim::gate_h());
+    sv.apply_cnot(0, 1);
+    sv.apply_cnot(0, 2);
+  });
+  // GHZ: every single-qubit readout is 0 — individually useless, exactly
+  // the ensemble-readout blind spot.
+  for (std::size_t q = 0; q < 3; ++q)
+    EXPECT_NEAR(m.readout_z(q), 0.0, 1e-12);
+}
+
+TEST(EnsembleMachine, ReadoutAllMatchesPerQubit) {
+  EnsembleMachine m(3, 0, 1);
+  Circuit c(3);
+  c.x(1);
+  m.run(c);
+  const auto all = m.readout_all();
+  EXPECT_NEAR(all[0], 1.0, 1e-12);
+  EXPECT_NEAR(all[1], -1.0, 1e-12);
+  EXPECT_NEAR(all[2], 1.0, 1e-12);
+}
+
+TEST(EnsembleMachine, PolarizationScalesTheSignal) {
+  EnsembleMachine m(1, 0, 1);
+  Circuit c(1);
+  c.x(0);
+  m.run(c);
+  EXPECT_NEAR(m.readout_z(0), -1.0, 1e-12);
+  m.set_polarization(0.01);  // room-temperature pseudo-pure deviation
+  EXPECT_NEAR(m.readout_z(0), -0.01, 1e-12);
+  EXPECT_THROW(m.set_polarization(0.0), ContractViolation);
+  EXPECT_THROW(m.set_polarization(1.5), ContractViolation);
+}
+
+TEST(CliffordEnsemble, MatchesExactReadoutOnCliffordPrograms) {
+  Circuit c(2);
+  c.h(0).cnot(0, 1).x(1);
+  CliffordEnsembleMachine m(2, 10, 5);
+  m.run(c);
+  EnsembleMachine exact(2, 0, 5);
+  exact.run(c);
+  for (std::size_t q = 0; q < 2; ++q)
+    EXPECT_NEAR(m.readout_z(q), exact.readout_z(q), 1e-12);
+}
+
+TEST(CliffordEnsemble, RejectsMeasurementPrograms) {
+  Circuit c(1);
+  c.measure_z(0);
+  CliffordEnsembleMachine m(1, 2, 1);
+  EXPECT_THROW(m.run(c), ContractViolation);
+}
+
+TEST(CliffordEnsemble, NoiseMakesComputersDisagree) {
+  Circuit c(1);
+  for (int i = 0; i < 60; ++i) c.idle(0);
+  CliffordEnsembleMachine m(1, 200, 9);
+  const auto model = noise::NoiseModel::paper_model(0.02);
+  m.run(c, &model);
+  const double z = m.readout_z(0);
+  EXPECT_LT(z, 1.0);
+  EXPECT_GT(z, 0.0);
+}
+
+TEST(CliffordEnsemble, ShotSamplingAddsNoise) {
+  Circuit c(1);
+  c.h(0);
+  CliffordEnsembleMachine m(1, 50, 3);
+  m.run(c);
+  EXPECT_NEAR(m.readout_z(0), 0.0, 1e-12);  // exact expectation
+  // Shot-sampled readout of a coin is noisy but bounded.
+  const double s = m.readout_z(0, /*shot_sampled=*/true);
+  EXPECT_LE(std::abs(s), 1.0);
+}
+
+TEST(EnsembleMachine, DebugTrajectoryAccessIsExplicit) {
+  EnsembleMachine m(1, 3, 5);
+  Circuit c(1);
+  c.x(0);
+  m.run(c);
+  EXPECT_NEAR(debug::trajectory(m, 0).prob_one(0), 1.0, 1e-12);
+  EXPECT_THROW(debug::trajectory(m, 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace eqc::ensemble

@@ -1,0 +1,208 @@
+// Coverage for the smaller API surfaces: op metadata, printing, matrix
+// algebra corners, tableau introspection, Pauli helpers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "circuit/circuit.h"
+#include "circuit/execute.h"
+#include "circuit/sv_backend.h"
+#include "circuit/tab_backend.h"
+#include "circuit/op.h"
+#include "common/assert.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "pauli/pauli_string.h"
+#include "qsim/gates.h"
+#include "stab/tableau.h"
+
+namespace eqc {
+namespace {
+
+using circuit::OpKind;
+
+TEST(OpMetadata, ArityTable) {
+  EXPECT_EQ(circuit::arity(OpKind::H), 1);
+  EXPECT_EQ(circuit::arity(OpKind::PrepZ), 1);
+  EXPECT_EQ(circuit::arity(OpKind::MeasureZ), 1);
+  EXPECT_EQ(circuit::arity(OpKind::CNOT), 2);
+  EXPECT_EQ(circuit::arity(OpKind::CS), 2);
+  EXPECT_EQ(circuit::arity(OpKind::CNOTIfC), 2);
+  EXPECT_EQ(circuit::arity(OpKind::CCX), 3);
+  EXPECT_EQ(circuit::arity(OpKind::CCZ), 3);
+}
+
+TEST(OpMetadata, CliffordTable) {
+  EXPECT_TRUE(circuit::is_clifford_unitary(OpKind::H));
+  EXPECT_TRUE(circuit::is_clifford_unitary(OpKind::CNOT));
+  EXPECT_TRUE(circuit::is_clifford_unitary(OpKind::S));
+  EXPECT_FALSE(circuit::is_clifford_unitary(OpKind::T));
+  EXPECT_FALSE(circuit::is_clifford_unitary(OpKind::CS));
+  EXPECT_FALSE(circuit::is_clifford_unitary(OpKind::CCX));
+  EXPECT_FALSE(circuit::is_clifford_unitary(OpKind::CCZ));
+}
+
+TEST(OpMetadata, ClassicalControlTable) {
+  EXPECT_TRUE(circuit::is_classically_controlled(OpKind::XIfC));
+  EXPECT_TRUE(circuit::is_classically_controlled(OpKind::CZIfC));
+  EXPECT_FALSE(circuit::is_classically_controlled(OpKind::X));
+  EXPECT_FALSE(circuit::is_classically_controlled(OpKind::MeasureZ));
+}
+
+TEST(OpMetadata, EveryKindHasAName) {
+  for (int k = 0; k <= static_cast<int>(OpKind::Idle); ++k) {
+    const auto n = circuit::name(static_cast<OpKind>(k));
+    EXPECT_FALSE(n.empty());
+    EXPECT_NE(n, "?");
+  }
+}
+
+TEST(CircuitPrinting, ToStringListsOps) {
+  circuit::Circuit c(3);
+  c.h(0).cnot(0, 1).ccx(0, 1, 2);
+  c.measure_z(2);
+  const auto s = c.to_string();
+  EXPECT_NE(s.find("H 0"), std::string::npos);
+  EXPECT_NE(s.find("CNOT 0 1"), std::string::npos);
+  EXPECT_NE(s.find("CCX 0 1 2"), std::string::npos);
+  EXPECT_NE(s.find("MZ 2 c0"), std::string::npos);
+}
+
+TEST(Matrix4, AdjointAndProduct) {
+  const Mat4 cz = [] {
+    Mat4 m = Mat4::identity();
+    m(3, 3) = -1;
+    return m;
+  }();
+  EXPECT_TRUE(cz.is_unitary());
+  EXPECT_TRUE(approx_equal(cz * cz, Mat4::identity()));
+  EXPECT_TRUE(approx_equal(cz.adjoint(), cz));
+}
+
+TEST(Matrix4, KronMatchesManual) {
+  const auto hh = kron(qsim::gate_h(), qsim::gate_h());
+  EXPECT_TRUE(hh.is_unitary());
+  // (H (x) H)^2 = I.
+  EXPECT_TRUE(approx_equal(hh * hh, Mat4::identity()));
+}
+
+TEST(PauliHelpers, CountYAndHermiticity) {
+  auto p = pauli::PauliString::from_string("YIYZ");
+  EXPECT_EQ(p.count_y(), 2u);
+  EXPECT_TRUE(p.is_hermitian());
+  p.set_phase(p.phase() + 1);
+  EXPECT_FALSE(p.is_hermitian());
+}
+
+TEST(PauliHelpers, ConjugateSwapMovesOperators) {
+  auto p = pauli::PauliString::from_string("XZI");
+  p.conjugate_swap(0, 2);
+  EXPECT_EQ(p.to_string(), "IZX");
+}
+
+TEST(PauliHelpers, ToCharRoundTrip) {
+  EXPECT_EQ(pauli::to_char(pauli::Pauli::I), 'I');
+  EXPECT_EQ(pauli::to_char(pauli::Pauli::X), 'X');
+  EXPECT_EQ(pauli::to_char(pauli::Pauli::Y), 'Y');
+  EXPECT_EQ(pauli::to_char(pauli::Pauli::Z), 'Z');
+}
+
+TEST(TableauIntrospection, DestabilizersAnticommuteWithTheirStabilizer) {
+  stab::Tableau tab(4);
+  tab.h(0);
+  tab.cnot(0, 1);
+  tab.s(2);
+  tab.cz(2, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(tab.stabilizer(i).commutes_with(tab.destabilizer(i)));
+    for (std::size_t j = 0; j < 4; ++j)
+      if (i != j) {
+        EXPECT_TRUE(tab.stabilizer(i).commutes_with(tab.destabilizer(j)));
+      }
+  }
+}
+
+TEST(TableauIntrospection, ExpectationPauliZeroOnNonMember) {
+  stab::Tableau tab(2);
+  tab.h(0);
+  // X0 stabilizes; Z0 anti...? Z0 anticommutes with X0 -> expectation 0.
+  EXPECT_EQ(tab.expectation_pauli(pauli::PauliString::from_string("XI")), 1.0);
+  EXPECT_EQ(tab.expectation_pauli(pauli::PauliString::from_string("ZI")), 0.0);
+  EXPECT_EQ(tab.expectation_pauli(pauli::PauliString::from_string("IZ")), 1.0);
+  auto mz = pauli::PauliString::from_string("IZ");
+  mz.set_phase(2);
+  EXPECT_EQ(tab.expectation_pauli(mz), -1.0);
+}
+
+TEST(Gates, RotationComposition) {
+  // Rz(a) Rz(b) = Rz(a+b) up to nothing (same branch), Rx likewise.
+  const auto a = qsim::gate_rz(0.4) * qsim::gate_rz(0.9);
+  EXPECT_TRUE(approx_equal(a, qsim::gate_rz(1.3)));
+  const auto b = qsim::gate_rx(0.4) * qsim::gate_rx(0.9);
+  EXPECT_TRUE(approx_equal(b, qsim::gate_rx(1.3)));
+  const auto c = qsim::gate_ry(0.4) * qsim::gate_ry(0.9);
+  EXPECT_TRUE(approx_equal(c, qsim::gate_ry(1.3)));
+}
+
+TEST(Gates, PhaseVsRz) {
+  // phase(t) = e^{i t/2} Rz(t).
+  EXPECT_TRUE(approx_equal_up_to_phase(qsim::gate_phase(0.7),
+                                       qsim::gate_rz(0.7)));
+}
+
+TEST(ControlledPhaseGates, CsAndCsdgSemantics) {
+  // CS adds phase i only on |11>.
+  qsim::StateVector sv(2);
+  sv.apply1(0, qsim::gate_h());
+  sv.apply1(1, qsim::gate_h());
+  sv.apply_controlled({0}, 1, qsim::gate_s());
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11) - cplx(0, 0.5)), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b01) - cplx(0.5, 0)), 0.0, 1e-10);
+  // CSdg undoes it.
+  sv.apply_controlled({0}, 1, qsim::gate_sdg());
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11) - cplx(0.5, 0)), 0.0, 1e-10);
+}
+
+TEST(ControlledPhaseGates, CircuitOpsMatchDirectApplication) {
+  circuit::Circuit c(2);
+  c.h(0).h(1).cs(0, 1).csdg(0, 1);
+  // Build via ops and compare to plain |++>.
+  qsim::StateVector want(2);
+  want.apply1(0, qsim::gate_h());
+  want.apply1(1, qsim::gate_h());
+  // (execute requires a backend; reuse SvBackend through the public path.)
+  circuit::SvBackend b(2, Rng(1));
+  circuit::execute(c, b);
+  EXPECT_NEAR(b.state().fidelity(want), 1.0, 1e-10);
+}
+
+TEST(TableauClassicalLowering, CsOnClassicalControl) {
+  circuit::Circuit c(2);
+  c.x(0).h(1).cs(0, 1).cs(0, 1);  // CS^2 with control |1> = Z on target
+  circuit::TabBackend b(2, Rng(1));
+  circuit::execute(c, b);
+  // |-> on qubit 1: stabilized by -X.
+  auto mx = pauli::PauliString::from_string("IX");
+  mx.set_phase(2);
+  EXPECT_TRUE(b.tableau().state_is_stabilized_by(mx));
+}
+
+TEST(TableauClassicalLowering, CsOnSuperposedControlThrows) {
+  circuit::Circuit c(2);
+  c.h(0).cs(0, 1);
+  circuit::TabBackend b(2, Rng(1));
+  EXPECT_THROW(circuit::execute(c, b), ContractViolation);
+}
+
+TEST(Rng, SplitChildrenAreDecorrelated) {
+  Rng parent(5);
+  Rng a = parent.split();
+  Rng b = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace eqc

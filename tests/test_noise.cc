@@ -1,0 +1,169 @@
+// Tests for the noise module: channel statistics, per-site-kind scaling,
+// and Monte-Carlo driver reproducibility.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "circuit/circuit.h"
+#include "circuit/execute.h"
+#include "circuit/tab_backend.h"
+#include "common/assert.h"
+#include "common/rng.h"
+#include "noise/model.h"
+#include "noise/monte_carlo.h"
+
+namespace eqc::noise {
+namespace {
+
+using circuit::Circuit;
+using circuit::TabBackend;
+
+TEST(NoiseModel, ProbabilityPerKind) {
+  NoiseModel m;
+  m.p = 0.01;
+  m.idle_scale = 0.5;
+  m.measure_scale = 2.0;
+  m.prep_scale = 0.0;
+  using Kind = circuit::FaultSite::Kind;
+  EXPECT_DOUBLE_EQ(m.probability_for(Kind::GateOutput), 0.01);
+  EXPECT_DOUBLE_EQ(m.probability_for(Kind::Idle), 0.005);
+  EXPECT_DOUBLE_EQ(m.probability_for(Kind::MeasureInput), 0.02);
+  EXPECT_DOUBLE_EQ(m.probability_for(Kind::PrepOutput), 0.0);
+  EXPECT_DOUBLE_EQ(m.probability_for(Kind::Input), 0.01);
+}
+
+TEST(NoiseModel, Factories) {
+  EXPECT_EQ(NoiseModel::depolarizing(0.1).channel, Channel::Depolarizing);
+  EXPECT_EQ(NoiseModel::bit_flip(0.1).channel, Channel::BitFlip);
+  EXPECT_EQ(NoiseModel::phase_flip(0.1).channel, Channel::PhaseFlip);
+  EXPECT_EQ(NoiseModel::paper_model(0.1).channel, Channel::SingleQubitPauli);
+}
+
+TEST(SampleError, SingleQubitPauliIsAlwaysWeightOne) {
+  Rng rng(11);
+  std::map<std::string, int> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const auto e = sample_error(Channel::SingleQubitPauli, {0, 1, 2}, 3, rng);
+    EXPECT_EQ(e.weight(), 1u);
+    seen[e.to_string()]++;
+  }
+  // 3 qubits x 3 Paulis = 9 weight-1 errors, roughly uniform.
+  EXPECT_EQ(seen.size(), 9u);
+  for (const auto& [key, count] : seen) {
+    EXPECT_GT(count, 3000 / 9 / 2) << key;
+    EXPECT_LT(count, 3000 / 9 * 2) << key;
+  }
+}
+
+TEST(SampleError, DepolarizingThreeQubitsCovers63) {
+  Rng rng(13);
+  std::set<std::string> seen;
+  for (int i = 0; i < 20000; ++i)
+    seen.insert(
+        sample_error(Channel::Depolarizing, {0, 1, 2}, 3, rng).to_string());
+  EXPECT_EQ(seen.size(), 63u);
+}
+
+TEST(SampleError, PhaseFlipNeverTouchesX) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const auto e = sample_error(Channel::PhaseFlip, {0, 1}, 2, rng);
+    for (std::size_t q = 0; q < 2; ++q) EXPECT_FALSE(e.x_bit(q));
+    EXPECT_GE(e.weight(), 1u);
+  }
+}
+
+TEST(SampleError, BitFlipNeverTouchesZ) {
+  Rng rng(19);
+  for (int i = 0; i < 500; ++i) {
+    const auto e = sample_error(Channel::BitFlip, {0, 1}, 2, rng);
+    for (std::size_t q = 0; q < 2; ++q) EXPECT_FALSE(e.z_bit(q));
+  }
+}
+
+TEST(StochasticInjector, RespectsKindScales) {
+  // Idle noise disabled: a circuit of idles never accumulates errors.
+  Circuit c(1);
+  for (int i = 0; i < 400; ++i) c.idle(0);
+  NoiseModel m = NoiseModel::depolarizing(0.5);
+  m.idle_scale = 0.0;
+  StochasticInjector inj(m, Rng(3));
+  TabBackend b(1, Rng(2));
+  circuit::execute(c, b, &inj);
+  EXPECT_EQ(inj.errors_injected(), 0u);
+}
+
+TEST(StochasticInjector, MeasurementErrorsFlipOutcomes) {
+  // p(measure) = 1 with bit-flip noise: a |0> qubit always reads 1.
+  Circuit c(1);
+  const auto slot = c.measure_z(0);
+  NoiseModel m = NoiseModel::bit_flip(1.0);
+  for (int i = 0; i < 20; ++i) {
+    StochasticInjector inj(m, Rng(100 + i));
+    TabBackend b(1, Rng(2));
+    const auto result = circuit::execute(c, b, &inj);
+    EXPECT_TRUE(result.cbits[slot]);
+  }
+}
+
+TEST(MonteCarlo, ReproducibleAcrossRuns) {
+  auto trial = [](Rng& rng) { return rng.bernoulli(0.37); };
+  const auto a = run_trials(500, 99, trial);
+  const auto b = run_trials(500, 99, trial);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_NEAR(a.rate(), 0.37, 0.08);
+}
+
+TEST(MonteCarlo, DifferentSeedsDiffer) {
+  auto trial = [](Rng& rng) { return rng.bernoulli(0.5); };
+  const auto a = run_trials(200, 1, trial);
+  const auto b = run_trials(200, 2, trial);
+  EXPECT_NE(a.failures, b.failures);  // overwhelmingly likely
+}
+
+TEST(MonteCarlo, UntilStopsAtFailureBudget) {
+  auto trial = [](Rng&) { return true; };  // always fails
+  const auto c = run_trials_until(100000, 7, 3, trial);
+  EXPECT_EQ(c.failures, 7u);
+  EXPECT_EQ(c.trials, 7u);
+}
+
+TEST(MonteCarlo, UntilRunsOutOfTrials) {
+  auto trial = [](Rng&) { return false; };
+  const auto c = run_trials_until(50, 3, 3, trial);
+  EXPECT_EQ(c.trials, 50u);
+  EXPECT_EQ(c.failures, 0u);
+}
+
+// Property: injected error count over a known number of sites follows the
+// expected binomial mean for every channel.
+class ChannelRate : public ::testing::TestWithParam<Channel> {};
+
+TEST_P(ChannelRate, MatchesExpectedMean) {
+  Circuit c(2);
+  for (int i = 0; i < 300; ++i) c.cnot(0, 1);
+  NoiseModel m;
+  m.p = 0.05;
+  m.channel = GetParam();
+  std::size_t total = 0;
+  const int reps = 30;
+  for (int r = 0; r < reps; ++r) {
+    StochasticInjector inj(m, Rng(1000 + r));
+    TabBackend b(2, Rng(2));
+    circuit::execute(c, b, &inj);
+    total += inj.errors_injected();
+  }
+  const double mean = double(total) / reps;
+  EXPECT_NEAR(mean, 300 * 0.05, 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChannels, ChannelRate,
+                         ::testing::Values(Channel::Depolarizing,
+                                           Channel::BitFlip,
+                                           Channel::PhaseFlip,
+                                           Channel::SingleQubitPauli));
+
+}  // namespace
+}  // namespace eqc::noise

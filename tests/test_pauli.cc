@@ -1,0 +1,273 @@
+// Unit + property tests for PauliString: group algebra, commutation, and —
+// critically — that every Clifford conjugation rule matches exact
+// state-vector semantics (G P |psi> == P' G |psi> with P' = G P G^dagger).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "pauli/pauli_string.h"
+#include "qsim/gates.h"
+#include "qsim/state_vector.h"
+
+namespace eqc::pauli {
+namespace {
+
+using qsim::StateVector;
+
+StateVector random_state(std::size_t n, Rng& rng) {
+  std::vector<cplx> amp(std::size_t{1} << n);
+  for (auto& a : amp) a = cplx{rng.uniform() - 0.5, rng.uniform() - 0.5};
+  auto sv = StateVector::from_amplitudes(std::move(amp));
+  sv.normalize();
+  return sv;
+}
+
+PauliString random_pauli(std::size_t n, Rng& rng) {
+  PauliString p(n);
+  for (std::size_t q = 0; q < n; ++q)
+    p.set(q, static_cast<Pauli>(rng.below(4)));
+  p.set_phase(static_cast<int>(rng.below(4)));
+  return p;
+}
+
+double max_amp_diff(const StateVector& a, const StateVector& b) {
+  double m = 0.0;
+  for (std::uint64_t i = 0; i < a.dim(); ++i)
+    m = std::max(m, std::abs(a.amplitude(i) - b.amplitude(i)));
+  return m;
+}
+
+TEST(PauliString, FromStringRoundTrip) {
+  const auto p = PauliString::from_string("IXYZ");
+  EXPECT_EQ(p.get(0), Pauli::I);
+  EXPECT_EQ(p.get(1), Pauli::X);
+  EXPECT_EQ(p.get(2), Pauli::Y);
+  EXPECT_EQ(p.get(3), Pauli::Z);
+  EXPECT_EQ(p.to_string(), "IXYZ");
+}
+
+TEST(PauliString, FromStringRejectsGarbage) {
+  EXPECT_THROW(PauliString::from_string("XQ"), ContractViolation);
+}
+
+TEST(PauliString, WeightAndSupport) {
+  const auto p = PauliString::from_string("IXIYZ");
+  EXPECT_EQ(p.weight(), 3u);
+  EXPECT_EQ(p.support(), (std::vector<std::size_t>{1, 3, 4}));
+  EXPECT_FALSE(p.is_identity());
+  EXPECT_TRUE(PauliString(5).is_identity());
+}
+
+TEST(PauliString, SetOverwriteKeepsPhaseExact) {
+  PauliString p(1);
+  p.set(0, Pauli::Y);  // stores i * XZ
+  p.set(0, Pauli::Y);  // overwrite must not accumulate phase
+  EXPECT_EQ(p.get(0), Pauli::Y);
+  PauliString y = PauliString::single(1, 0, Pauli::Y);
+  EXPECT_TRUE(p == y);
+  p.set(0, Pauli::X);
+  EXPECT_EQ(p.phase(), 0);
+}
+
+TEST(PauliString, SingleQubitProductsMatchAlgebra) {
+  // X*Y = iZ, Y*Z = iX, Z*X = iY, and squares are identity.
+  auto X = PauliString::single(1, 0, Pauli::X);
+  auto Y = PauliString::single(1, 0, Pauli::Y);
+  auto Z = PauliString::single(1, 0, Pauli::Z);
+
+  auto xy = X;
+  xy.multiply_by(Y);
+  EXPECT_EQ(xy.get(0), Pauli::Z);
+  EXPECT_EQ(xy.phase(), 1);  // +i
+
+  auto yz = Y;
+  yz.multiply_by(Z);
+  EXPECT_EQ(yz.get(0), Pauli::X);
+  EXPECT_EQ(yz.phase(), 1);
+
+  auto zx = Z;
+  zx.multiply_by(X);
+  EXPECT_EQ(zx.get(0), Pauli::Y);
+  // i*Y in the XZ-literal storage: Y itself carries phase 1, so i*Y has 2.
+  auto iy = Y;
+  iy.set_phase(iy.phase() + 1);
+  EXPECT_TRUE(zx == iy);
+
+  auto yx = Y;
+  yx.multiply_by(X);
+  EXPECT_EQ(yx.get(0), Pauli::Z);
+  EXPECT_EQ(yx.phase(), 3);  // -i
+
+  for (auto* p : {&X, &Y, &Z}) {
+    auto sq = *p;
+    sq.multiply_by(*p);
+    EXPECT_TRUE(sq.is_identity());
+    EXPECT_EQ(sq.phase(), 0);
+  }
+}
+
+TEST(PauliString, CommutationRules) {
+  auto X = PauliString::single(2, 0, Pauli::X);
+  auto Z0 = PauliString::single(2, 0, Pauli::Z);
+  auto Z1 = PauliString::single(2, 1, Pauli::Z);
+  EXPECT_FALSE(X.commutes_with(Z0));
+  EXPECT_TRUE(X.commutes_with(Z1));
+  auto XX = PauliString::from_string("XX");
+  auto ZZ = PauliString::from_string("ZZ");
+  EXPECT_TRUE(XX.commutes_with(ZZ));  // two anticommuting pairs
+}
+
+// Property: multiplication phase agrees with dense matrix action.
+TEST(PauliString, MultiplicationMatchesStateVectorAction) {
+  Rng rng(1234);
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::size_t n = 1 + rng.below(4);
+    auto a = random_pauli(n, rng);
+    auto b = random_pauli(n, rng);
+    auto ab = a;
+    ab.multiply_by(b);
+
+    auto sv = random_state(n, rng);
+    auto lhs = sv;  // apply b then a
+    lhs.apply_pauli(b);
+    lhs.apply_pauli(a);
+    auto rhs = sv;
+    rhs.apply_pauli(ab);
+    EXPECT_LT(max_amp_diff(lhs, rhs), 1e-10) << "n=" << n;
+  }
+}
+
+// Property: commutes_with matches whether the dense actions commute.
+TEST(PauliString, CommutationMatchesStateVector) {
+  Rng rng(77);
+  for (int rep = 0; rep < 30; ++rep) {
+    const std::size_t n = 1 + rng.below(3);
+    auto a = random_pauli(n, rng);
+    auto b = random_pauli(n, rng);
+    auto sv = random_state(n, rng);
+    auto ab = sv, ba = sv;
+    ab.apply_pauli(b);
+    ab.apply_pauli(a);
+    ba.apply_pauli(a);
+    ba.apply_pauli(b);
+    const double diff = max_amp_diff(ab, ba);
+    if (a.commutes_with(b))
+      EXPECT_LT(diff, 1e-10);
+    else
+      EXPECT_GT(diff, 1e-3);
+  }
+}
+
+// --- Conjugation property tests: G P == P' G as operators. ---------------
+
+enum class Gate1 { H, S, Sdg, X, Y, Z };
+
+class ConjugationSingleQubit : public ::testing::TestWithParam<Gate1> {};
+
+TEST_P(ConjugationSingleQubit, MatchesStateVector) {
+  Rng rng(55);
+  const Gate1 g = GetParam();
+  for (int rep = 0; rep < 40; ++rep) {
+    const std::size_t n = 1 + rng.below(3);
+    const std::size_t q = rng.below(n);
+    auto p = random_pauli(n, rng);
+
+    auto conj = p;
+    Mat2 u;
+    switch (g) {
+      case Gate1::H: conj.conjugate_h(q); u = qsim::gate_h(); break;
+      case Gate1::S: conj.conjugate_s(q); u = qsim::gate_s(); break;
+      case Gate1::Sdg: conj.conjugate_sdg(q); u = qsim::gate_sdg(); break;
+      case Gate1::X: conj.conjugate_x(q); u = qsim::gate_x(); break;
+      case Gate1::Y: conj.conjugate_y(q); u = qsim::gate_y(); break;
+      case Gate1::Z: conj.conjugate_z(q); u = qsim::gate_z(); break;
+    }
+
+    auto sv = random_state(n, rng);
+    auto lhs = sv;  // G P |psi>
+    lhs.apply_pauli(p);
+    lhs.apply1(q, u);
+    auto rhs = sv;  // P' G |psi>
+    rhs.apply1(q, u);
+    rhs.apply_pauli(conj);
+    EXPECT_LT(max_amp_diff(lhs, rhs), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGates, ConjugationSingleQubit,
+                         ::testing::Values(Gate1::H, Gate1::S, Gate1::Sdg,
+                                           Gate1::X, Gate1::Y, Gate1::Z));
+
+enum class Gate2 { CNOT, CZ, SWAP };
+
+class ConjugationTwoQubit : public ::testing::TestWithParam<Gate2> {};
+
+TEST_P(ConjugationTwoQubit, MatchesStateVector) {
+  Rng rng(66);
+  const Gate2 g = GetParam();
+  for (int rep = 0; rep < 60; ++rep) {
+    const std::size_t n = 2 + rng.below(2);
+    const std::size_t a = rng.below(n);
+    std::size_t b = rng.below(n);
+    while (b == a) b = rng.below(n);
+    auto p = random_pauli(n, rng);
+
+    auto conj = p;
+    switch (g) {
+      case Gate2::CNOT: conj.conjugate_cnot(a, b); break;
+      case Gate2::CZ: conj.conjugate_cz(a, b); break;
+      case Gate2::SWAP: conj.conjugate_swap(a, b); break;
+    }
+
+    auto apply_gate = [&](qsim::StateVector& sv) {
+      switch (g) {
+        case Gate2::CNOT: sv.apply_cnot(a, b); break;
+        case Gate2::CZ: sv.apply_cz(a, b); break;
+        case Gate2::SWAP: sv.apply_swap(a, b); break;
+      }
+    };
+
+    auto sv = random_state(n, rng);
+    auto lhs = sv;
+    lhs.apply_pauli(p);
+    apply_gate(lhs);
+    auto rhs = sv;
+    apply_gate(rhs);
+    rhs.apply_pauli(conj);
+    EXPECT_LT(max_amp_diff(lhs, rhs), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGates, ConjugationTwoQubit,
+                         ::testing::Values(Gate2::CNOT, Gate2::CZ,
+                                           Gate2::SWAP));
+
+// The paper's central error-propagation facts, as direct assertions.
+TEST(ErrorPropagation, CnotSpreadsBitErrorsForward) {
+  auto p = PauliString::single(2, 0, Pauli::X);  // X on control
+  p.conjugate_cnot(0, 1);
+  EXPECT_EQ(p.to_string(), "XX");  // spreads to target
+}
+
+TEST(ErrorPropagation, CnotSpreadsPhaseErrorsBackward) {
+  auto p = PauliString::single(2, 1, Pauli::Z);  // Z on target
+  p.conjugate_cnot(0, 1);
+  EXPECT_EQ(p.to_string(), "ZZ");  // spreads to control
+}
+
+TEST(ErrorPropagation, CnotDoesNotSpreadTargetBitError) {
+  auto p = PauliString::single(2, 1, Pauli::X);
+  p.conjugate_cnot(0, 1);
+  EXPECT_EQ(p.to_string(), "IX");
+}
+
+TEST(ErrorPropagation, CnotDoesNotSpreadControlPhaseError) {
+  auto p = PauliString::single(2, 0, Pauli::Z);
+  p.conjugate_cnot(0, 1);
+  EXPECT_EQ(p.to_string(), "ZI");
+}
+
+}  // namespace
+}  // namespace eqc::pauli

@@ -1,0 +1,242 @@
+// Unit tests for the dense state-vector simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "qsim/gates.h"
+#include "qsim/state_vector.h"
+
+namespace eqc::qsim {
+namespace {
+
+constexpr double kEps = 1e-10;
+
+TEST(Gates, AllUnitary) {
+  for (const Mat2& g :
+       {gate_i(), gate_x(), gate_y(), gate_z(), gate_h(), gate_s(), gate_sdg(),
+        gate_t(), gate_tdg(), gate_rz(0.7), gate_rx(1.1), gate_ry(2.3),
+        gate_phase(0.4), gate_sqrt_x()}) {
+    EXPECT_TRUE(g.is_unitary());
+  }
+}
+
+TEST(Gates, AlgebraicIdentities) {
+  EXPECT_TRUE(approx_equal(gate_s() * gate_s(), gate_z()));
+  EXPECT_TRUE(approx_equal(gate_t() * gate_t(), gate_s()));
+  EXPECT_TRUE(approx_equal(gate_s() * gate_sdg(), gate_i()));
+  EXPECT_TRUE(approx_equal(gate_t() * gate_tdg(), gate_i()));
+  EXPECT_TRUE(approx_equal(gate_h() * gate_h(), gate_i()));
+  EXPECT_TRUE(approx_equal(gate_sqrt_x() * gate_sqrt_x(), gate_x()));
+  EXPECT_TRUE(
+      approx_equal(gate_h() * gate_x() * gate_h(), gate_z()));
+  EXPECT_TRUE(approx_equal_up_to_phase(gate_rz(M_PI / 2), gate_s()));
+  // S^dagger Z = S (the identity behind the Steane logical S).
+  EXPECT_TRUE(approx_equal(gate_sdg() * gate_z(), gate_s()));
+}
+
+TEST(StateVector, InitialState) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.num_qubits(), 3u);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_EQ(sv.amplitude(0), cplx(1, 0));
+  EXPECT_NEAR(sv.norm(), 1.0, kEps);
+  for (std::size_t q = 0; q < 3; ++q) EXPECT_NEAR(sv.expectation_z(q), 1.0, kEps);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition) {
+  StateVector sv(1);
+  sv.apply1(0, gate_h());
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1 / std::sqrt(2.0), kEps);
+  EXPECT_NEAR(std::abs(sv.amplitude(1)), 1 / std::sqrt(2.0), kEps);
+  EXPECT_NEAR(sv.expectation_z(0), 0.0, kEps);
+}
+
+TEST(StateVector, XFlips) {
+  StateVector sv(2);
+  sv.apply1(1, gate_x());
+  EXPECT_EQ(std::abs(sv.amplitude(0b10)), 1.0);
+  EXPECT_NEAR(sv.expectation_z(1), -1.0, kEps);
+  EXPECT_NEAR(sv.expectation_z(0), 1.0, kEps);
+}
+
+TEST(StateVector, BellStateViaCnot) {
+  StateVector sv(2);
+  sv.apply1(0, gate_h());
+  sv.apply_cnot(0, 1);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b00)), 1 / std::sqrt(2.0), kEps);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11)), 1 / std::sqrt(2.0), kEps);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b01)), 0.0, kEps);
+  // Measuring both qubits gives correlated outcomes.
+  Rng rng(4);
+  auto copy = sv;
+  const bool m0 = copy.measure(0, rng);
+  const bool m1 = copy.measure(1, rng);
+  EXPECT_EQ(m0, m1);
+}
+
+TEST(StateVector, CzPhases) {
+  StateVector sv(2);
+  sv.apply1(0, gate_h());
+  sv.apply1(1, gate_h());
+  sv.apply_cz(0, 1);
+  EXPECT_NEAR(sv.amplitude(0b11).real(), -0.5, kEps);
+  EXPECT_NEAR(sv.amplitude(0b01).real(), 0.5, kEps);
+}
+
+TEST(StateVector, SwapMovesAmplitude) {
+  StateVector sv(2);
+  sv.apply1(0, gate_x());
+  sv.apply_swap(0, 1);
+  EXPECT_EQ(std::abs(sv.amplitude(0b10)), 1.0);
+}
+
+TEST(StateVector, ControlledGateOnlyFiresWhenControlsSet) {
+  StateVector sv(3);
+  sv.apply1(0, gate_x());  // control 0 = 1, control 1 = 0
+  sv.apply_controlled({0, 1}, 2, gate_x());
+  EXPECT_EQ(std::abs(sv.amplitude(0b001)), 1.0);  // target unchanged
+  sv.apply1(1, gate_x());
+  sv.apply_controlled({0, 1}, 2, gate_x());
+  EXPECT_EQ(std::abs(sv.amplitude(0b111)), 1.0);  // target flipped
+}
+
+TEST(StateVector, Apply2MatchesKron) {
+  Rng rng(21);
+  StateVector a(2), b(2);
+  a.apply1(0, gate_h());
+  b.apply1(0, gate_h());
+  const Mat4 zx = kron(gate_z(), gate_x());  // Z on qubit 1 (high), X on 0
+  a.apply2(1, 0, zx);
+  b.apply1(1, gate_z());
+  b.apply1(0, gate_x());
+  for (std::uint64_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0.0, kEps);
+}
+
+TEST(StateVector, MeasureCollapsesAndNormalizes) {
+  Rng rng(8);
+  StateVector sv(1);
+  sv.apply1(0, gate_h());
+  const bool m = sv.measure(0, rng);
+  EXPECT_NEAR(std::abs(sv.amplitude(m ? 1 : 0)), 1.0, kEps);
+  EXPECT_NEAR(sv.norm(), 1.0, kEps);
+  // Re-measuring yields the same value.
+  EXPECT_EQ(sv.measure(0, rng), m);
+}
+
+TEST(StateVector, MeasureStatistics) {
+  Rng rng(17);
+  int ones = 0;
+  for (int i = 0; i < 2000; ++i) {
+    StateVector sv(1);
+    sv.apply1(0, gate_ry(2.0 * std::acos(std::sqrt(0.25))));  // P(1)=0.75
+    ones += sv.measure(0, rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(ones / 2000.0, 0.75, 0.04);
+}
+
+TEST(StateVector, ResetGivesZeroRegardlessOfOutcome) {
+  Rng rng(31);
+  for (int i = 0; i < 20; ++i) {
+    StateVector sv(2);
+    sv.apply1(0, gate_h());
+    sv.apply_cnot(0, 1);
+    sv.reset(0, rng);
+    EXPECT_NEAR(sv.prob_one(0), 0.0, kEps);
+    EXPECT_NEAR(sv.norm(), 1.0, kEps);
+  }
+}
+
+TEST(StateVector, ApplyPauliMatchesGates) {
+  Rng rng(3);
+  StateVector a(3), b(3);
+  for (auto* sv : {&a, &b}) {
+    sv->apply1(0, gate_h());
+    sv->apply_cnot(0, 2);
+  }
+  a.apply_pauli(pauli::PauliString::from_string("XZY"));
+  b.apply1(0, gate_x());
+  b.apply1(1, gate_z());
+  b.apply1(2, gate_y());
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0.0, kEps);
+}
+
+TEST(StateVector, PermutationAppliesBijection) {
+  StateVector sv(2);
+  sv.apply1(0, gate_h());
+  // Map |x> -> |x+1 mod 4>.
+  sv.apply_permutation([](std::uint64_t x) { return (x + 1) % 4; });
+  EXPECT_NEAR(std::abs(sv.amplitude(1)), 1 / std::sqrt(2.0), kEps);
+  EXPECT_NEAR(std::abs(sv.amplitude(2)), 1 / std::sqrt(2.0), kEps);
+}
+
+TEST(StateVector, PermutationRejectsNonBijection) {
+  StateVector sv(1);
+  sv.apply1(0, gate_h());
+  EXPECT_THROW(sv.apply_permutation([](std::uint64_t) { return 0ull; }),
+               ContractViolation);
+}
+
+TEST(StateVector, PhaseOracleFlipsMarked) {
+  StateVector sv(2);
+  sv.apply1(0, gate_h());
+  sv.apply1(1, gate_h());
+  sv.apply_phase_oracle([](std::uint64_t x) { return x == 3; });
+  EXPECT_NEAR(sv.amplitude(3).real(), -0.5, kEps);
+  EXPECT_NEAR(sv.amplitude(1).real(), 0.5, kEps);
+}
+
+TEST(StateVector, InnerProductAndFidelity) {
+  StateVector a(1), b(1);
+  b.apply1(0, gate_h());
+  EXPECT_NEAR(std::abs(a.inner_product(b)), 1 / std::sqrt(2.0), kEps);
+  EXPECT_NEAR(a.fidelity(b), 0.5, kEps);
+  EXPECT_NEAR(a.fidelity(a), 1.0, kEps);
+}
+
+TEST(StateVector, ReducedDensityMatrixOfBellHalf) {
+  StateVector sv(2);
+  sv.apply1(0, gate_h());
+  sv.apply_cnot(0, 1);
+  const auto rho = sv.reduced_density_matrix({0});
+  EXPECT_NEAR(rho[0].real(), 0.5, kEps);  // maximally mixed
+  EXPECT_NEAR(rho[3].real(), 0.5, kEps);
+  EXPECT_NEAR(std::abs(rho[1]), 0.0, kEps);
+}
+
+TEST(StateVector, SubsystemFidelityDetectsProductState) {
+  StateVector sv(3);
+  sv.apply1(1, gate_h());  // qubit 1 in |+>, others |0>
+  const double inv = 1 / std::sqrt(2.0);
+  const std::vector<cplx> plus = {inv, inv};
+  EXPECT_NEAR(sv.subsystem_fidelity({1}, plus), 1.0, kEps);
+  const std::vector<cplx> zero = {1.0, 0.0};
+  EXPECT_NEAR(sv.subsystem_fidelity({1}, zero), 0.5, kEps);
+  EXPECT_NEAR(sv.subsystem_fidelity({0}, zero), 1.0, kEps);
+}
+
+TEST(StateVector, SubsystemFidelityOnEntangledHalfIsBelowOne) {
+  StateVector sv(2);
+  sv.apply1(0, gate_h());
+  sv.apply_cnot(0, 1);
+  const double inv = 1 / std::sqrt(2.0);
+  EXPECT_NEAR(sv.subsystem_fidelity({0}, {inv, inv}), 0.5, kEps);
+}
+
+TEST(StateVector, GhzExpectations) {
+  StateVector sv(4);
+  sv.apply1(0, gate_h());
+  for (std::size_t q = 1; q < 4; ++q) sv.apply_cnot(0, q);
+  for (std::size_t q = 0; q < 4; ++q)
+    EXPECT_NEAR(sv.expectation_z(q), 0.0, kEps);
+  // Parity correlations: measuring all qubits agrees.
+  Rng rng(5);
+  const bool m0 = sv.measure(0, rng);
+  for (std::size_t q = 1; q < 4; ++q) EXPECT_EQ(sv.measure(q, rng), m0);
+}
+
+}  // namespace
+}  // namespace eqc::qsim

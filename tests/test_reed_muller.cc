@@ -1,0 +1,210 @@
+// Tests for the [[15,1,3]] quantum Reed-Muller code: the Steane code's
+// transversality mirror (T free, H missing).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <complex>
+
+#include "circuit/circuit.h"
+#include "circuit/execute.h"
+#include "circuit/sv_backend.h"
+#include "circuit/tab_backend.h"
+#include "codes/reed_muller.h"
+#include "common/assert.h"
+#include "common/rng.h"
+#include "qsim/gates.h"
+
+namespace eqc::codes {
+namespace {
+
+using circuit::Circuit;
+using circuit::SvBackend;
+using circuit::TabBackend;
+using pauli::Pauli;
+using pauli::PauliString;
+
+TEST(ReedMuller, MaskStructure) {
+  // Each X mask has weight 8; pair intersections have weight 4.
+  for (int j = 0; j < 4; ++j)
+    EXPECT_EQ(std::popcount(ReedMuller15::x_mask(j)), 8) << j;
+  const auto& zm = ReedMuller15::z_masks();
+  ASSERT_EQ(zm.size(), 10u);
+  for (int k = 0; k < 4; ++k) EXPECT_EQ(std::popcount(zm[k]), 8);
+  for (int k = 4; k < 10; ++k) EXPECT_EQ(std::popcount(zm[k]), 4);
+}
+
+TEST(ReedMuller, CodewordsAreOrthogonalToZMasks) {
+  // Every |0>_L component must satisfy every Z check (even overlap).
+  for (unsigned cw : ReedMuller15::codewords_zero())
+    for (unsigned mask : ReedMuller15::z_masks())
+      EXPECT_EQ(std::popcount(cw & mask) % 2, 0);
+  // |1>_L components too (complements).
+  for (unsigned cw : ReedMuller15::codewords_zero())
+    for (unsigned mask : ReedMuller15::z_masks())
+      EXPECT_EQ(std::popcount((cw ^ 0x7FFF) & mask) % 2, 0);
+}
+
+TEST(ReedMuller, CodewordWeightsSupportTransversalT) {
+  // |0>_L components have weight 0 mod 8; |1>_L components have weight
+  // congruent to 7 mod 8 — which is what makes T^(x)15 a logical phase.
+  for (unsigned cw : ReedMuller15::codewords_zero()) {
+    EXPECT_EQ(std::popcount(cw) % 8, 0);
+    EXPECT_EQ(std::popcount(cw ^ 0x7FFF) % 8, 7);
+  }
+}
+
+TEST(ReedMuller, StabilizersCommute) {
+  const auto block = RmBlock::contiguous(0);
+  std::vector<PauliString> gens;
+  for (int j = 0; j < 4; ++j)
+    gens.push_back(ReedMuller15::x_stabilizer(15, block, j));
+  for (int k = 0; k < 10; ++k)
+    gens.push_back(ReedMuller15::z_stabilizer(15, block, k));
+  for (const auto& a : gens)
+    for (const auto& b : gens) EXPECT_TRUE(a.commutes_with(b));
+  const auto lx = ReedMuller15::logical_x_op(15, block);
+  const auto lz = ReedMuller15::logical_z_op(15, block);
+  for (const auto& g : gens) {
+    EXPECT_TRUE(lx.commutes_with(g));
+    EXPECT_TRUE(lz.commutes_with(g));
+  }
+  EXPECT_FALSE(lx.commutes_with(lz));
+}
+
+TEST(ReedMuller, EncoderProducesTheCodeSpace) {
+  Circuit c(15);
+  const auto block = RmBlock::contiguous(0);
+  ReedMuller15::append_encode_zero(c, block);
+  TabBackend b(15, Rng(1));
+  circuit::execute(c, b);
+  for (int j = 0; j < 4; ++j)
+    EXPECT_EQ(b.tableau().expectation_pauli(
+                  ReedMuller15::x_stabilizer(15, block, j)),
+              1.0)
+        << "X gen " << j;
+  for (int k = 0; k < 10; ++k)
+    EXPECT_EQ(b.tableau().expectation_pauli(
+                  ReedMuller15::z_stabilizer(15, block, k)),
+              1.0)
+        << "Z gen " << k;
+  EXPECT_EQ(b.tableau().expectation_pauli(
+                ReedMuller15::logical_z_op(15, block)),
+            1.0);
+}
+
+TEST(ReedMuller, EncoderMatchesAnalyticAmplitudes) {
+  Circuit c(15);
+  const auto block = RmBlock::contiguous(0);
+  ReedMuller15::append_encode_zero(c, block);
+  SvBackend b(15, Rng(1));
+  circuit::execute(c, b);
+  const auto want = qsim::StateVector::from_amplitudes(
+      ReedMuller15::encoded_amplitudes(1.0, 0.0));
+  EXPECT_NEAR(b.state().fidelity(want), 1.0, 1e-10);
+}
+
+TEST(ReedMuller, TransversalTIsLogicalTdg) {
+  // Bit-wise T on |+>_L gives (|0>_L + e^{-i pi/4} |1>_L)/sqrt2.
+  Circuit c(15);
+  const auto block = RmBlock::contiguous(0);
+  ReedMuller15::append_encode_zero(c, block);
+  SvBackend b(15, Rng(1));
+  circuit::execute(c, b);
+  // Build |+>_L analytically, apply bit-wise T.
+  const double inv = 1.0 / std::sqrt(2.0);
+  auto plus = qsim::StateVector::from_amplitudes(
+      ReedMuller15::encoded_amplitudes(inv, inv));
+  for (std::size_t q = 0; q < 15; ++q) plus.apply1(q, qsim::gate_t());
+  const auto want = qsim::StateVector::from_amplitudes(
+      ReedMuller15::encoded_amplitudes(
+          inv, inv * std::polar(1.0, -M_PI / 4)));
+  EXPECT_NEAR(plus.fidelity(want), 1.0, 1e-10);
+}
+
+TEST(ReedMuller, LogicalTBuilderActsAsT) {
+  const double inv = 1.0 / std::sqrt(2.0);
+  Circuit c(15);
+  const auto block = RmBlock::contiguous(0);
+  ReedMuller15::append_logical_t(c, block);
+  SvBackend b(qsim::StateVector::from_amplitudes(
+                  ReedMuller15::encoded_amplitudes(inv, inv)),
+              Rng(1));
+  circuit::execute(c, b);
+  const auto want = qsim::StateVector::from_amplitudes(
+      ReedMuller15::encoded_amplitudes(inv,
+                                       inv * std::polar(1.0, M_PI / 4)));
+  EXPECT_NEAR(b.state().fidelity(want), 1.0, 1e-10);
+}
+
+TEST(ReedMuller, LogicalTTimesTdgIsIdentity) {
+  const double inv = 1.0 / std::sqrt(2.0);
+  Circuit c(15);
+  const auto block = RmBlock::contiguous(0);
+  ReedMuller15::append_logical_t(c, block);
+  ReedMuller15::append_logical_tdg(c, block);
+  SvBackend b(qsim::StateVector::from_amplitudes(
+                  ReedMuller15::encoded_amplitudes(inv, inv)),
+              Rng(1));
+  circuit::execute(c, b);
+  const auto want = qsim::StateVector::from_amplitudes(
+      ReedMuller15::encoded_amplitudes(inv, inv));
+  EXPECT_NEAR(b.state().fidelity(want), 1.0, 1e-10);
+}
+
+TEST(ReedMuller, BitwiseHadamardLeavesTheCodeSpace) {
+  // The mirror gap: H^(x)15 does NOT preserve the code space (the X and Z
+  // stabilizer sets differ) — a measurement-free logical H on this code
+  // would need the paper's machinery, just as T does on the Steane code.
+  Circuit c(15);
+  const auto block = RmBlock::contiguous(0);
+  ReedMuller15::append_encode_zero(c, block);
+  for (auto q : block.q) c.h(q);
+  TabBackend b(15, Rng(1));
+  circuit::execute(c, b);
+  bool all_stabilized = true;
+  for (int k = 0; k < 10 && all_stabilized; ++k)
+    all_stabilized =
+        b.tableau().expectation_pauli(
+            ReedMuller15::z_stabilizer(15, block, k)) == 1.0;
+  EXPECT_FALSE(all_stabilized);
+}
+
+TEST(ReedMuller, TransversalCnotIsLogical) {
+  Circuit c(30);
+  const auto a = RmBlock::contiguous(0);
+  const auto t = RmBlock::contiguous(15);
+  ReedMuller15::append_encode_zero(c, a);
+  ReedMuller15::append_logical_x(c, a);
+  ReedMuller15::append_encode_zero(c, t);
+  ReedMuller15::append_logical_cnot(c, a, t);
+  TabBackend b(30, Rng(1));
+  circuit::execute(c, b);
+  EXPECT_EQ(b.tableau().expectation_pauli(
+                ReedMuller15::logical_z_op(30, a)),
+            -1.0);
+  EXPECT_EQ(b.tableau().expectation_pauli(
+                ReedMuller15::logical_z_op(30, t)),
+            -1.0);
+}
+
+TEST(ReedMuller, DistanceThreeAgainstSingleErrors) {
+  // Every weight-1 Z error anticommutes with at least one X generator and
+  // every weight-1 X error with at least one Z generator (detectability).
+  const auto block = RmBlock::contiguous(0);
+  for (unsigned i = 0; i < 15; ++i) {
+    bool detected_z = false;
+    const auto ze = PauliString::single(15, i, Pauli::Z);
+    for (int j = 0; j < 4; ++j)
+      detected_z |= !ze.commutes_with(ReedMuller15::x_stabilizer(15, block, j));
+    EXPECT_TRUE(detected_z) << i;
+    bool detected_x = false;
+    const auto xe = PauliString::single(15, i, Pauli::X);
+    for (int k = 0; k < 10; ++k)
+      detected_x |= !xe.commutes_with(ReedMuller15::z_stabilizer(15, block, k));
+    EXPECT_TRUE(detected_x) << i;
+  }
+}
+
+}  // namespace
+}  // namespace eqc::codes

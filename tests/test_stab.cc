@@ -1,0 +1,256 @@
+// Unit + cross-validation tests for the CHP stabilizer tableau.
+//
+// The centerpiece is a property test: random Clifford circuits are run on
+// both the tableau and the exact state vector, and every single-qubit
+// probability and every Pauli expectation must agree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "pauli/pauli_string.h"
+#include "qsim/gates.h"
+#include "qsim/state_vector.h"
+#include "stab/tableau.h"
+
+namespace eqc::stab {
+namespace {
+
+using pauli::Pauli;
+using pauli::PauliString;
+using qsim::StateVector;
+
+constexpr double kEps = 1e-9;
+
+// <psi|P|psi> computed densely.
+cplx dense_expectation(const StateVector& sv, const PauliString& p) {
+  StateVector tmp = sv;
+  tmp.apply_pauli(p);
+  return sv.inner_product(tmp);
+}
+
+TEST(Tableau, InitialStateStabilizedByZ) {
+  Tableau tab(3);
+  for (std::size_t q = 0; q < 3; ++q) {
+    EXPECT_TRUE(tab.is_deterministic_z(q));
+    EXPECT_FALSE(tab.deterministic_z_value(q));
+    EXPECT_EQ(tab.expectation_z(q), 1.0);
+  }
+  tab.check_invariants();
+}
+
+TEST(Tableau, XFlipsDeterministicValue) {
+  Tableau tab(2);
+  tab.x(1);
+  EXPECT_EQ(tab.expectation_z(1), -1.0);
+  EXPECT_EQ(tab.expectation_z(0), 1.0);
+}
+
+TEST(Tableau, HMakesOutcomeRandom) {
+  Tableau tab(1);
+  tab.h(0);
+  EXPECT_FALSE(tab.is_deterministic_z(0));
+  EXPECT_EQ(tab.expectation_z(0), 0.0);
+}
+
+TEST(Tableau, MeasurementCollapsesAndRepeats) {
+  Rng rng(2);
+  for (int rep = 0; rep < 20; ++rep) {
+    Tableau tab(1);
+    tab.h(0);
+    const bool m = tab.measure(0, rng);
+    EXPECT_TRUE(tab.is_deterministic_z(0));
+    EXPECT_EQ(tab.measure(0, rng), m);
+  }
+}
+
+TEST(Tableau, MeasurementIsUnbiased) {
+  Rng rng(3);
+  int ones = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Tableau tab(1);
+    tab.h(0);
+    ones += tab.measure(0, rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(ones / 2000.0, 0.5, 0.05);
+}
+
+TEST(Tableau, BellPairCorrelations) {
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    Tableau tab(2);
+    tab.h(0);
+    tab.cnot(0, 1);
+    EXPECT_FALSE(tab.is_deterministic_z(0));
+    const bool m0 = tab.measure(0, rng);
+    EXPECT_TRUE(tab.is_deterministic_z(1));
+    EXPECT_EQ(tab.measure(1, rng), m0);
+  }
+}
+
+TEST(Tableau, GhzStabilizers) {
+  Tableau tab(4);
+  tab.h(0);
+  for (std::size_t q = 1; q < 4; ++q) tab.cnot(0, q);
+  EXPECT_TRUE(tab.state_is_stabilized_by(PauliString::from_string("XXXX")));
+  EXPECT_TRUE(tab.state_is_stabilized_by(PauliString::from_string("ZZII")));
+  EXPECT_TRUE(tab.state_is_stabilized_by(PauliString::from_string("IZZI")));
+  EXPECT_FALSE(tab.state_is_stabilized_by(PauliString::from_string("ZIII")));
+  // -XXXX does not stabilize GHZ+.
+  auto minus = PauliString::from_string("XXXX");
+  minus.set_phase(2);
+  EXPECT_FALSE(tab.state_is_stabilized_by(minus));
+}
+
+TEST(Tableau, ApplyPauliFlipsSigns) {
+  Tableau tab(2);
+  tab.h(0);
+  tab.cnot(0, 1);  // stabilized by XX, ZZ
+  tab.apply_pauli(PauliString::from_string("ZI"));
+  auto mxx = PauliString::from_string("XX");
+  mxx.set_phase(2);
+  EXPECT_TRUE(tab.state_is_stabilized_by(mxx));
+  EXPECT_TRUE(tab.state_is_stabilized_by(PauliString::from_string("ZZ")));
+}
+
+TEST(Tableau, ResetForcesZero) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    Tableau tab(2);
+    tab.h(0);
+    tab.cnot(0, 1);
+    tab.reset(0, rng);
+    EXPECT_EQ(tab.expectation_z(0), 1.0);
+    tab.check_invariants();
+  }
+}
+
+TEST(Tableau, MeasurePauliDeterministicCases) {
+  Rng rng(11);
+  Tableau tab(2);
+  tab.h(0);
+  tab.cnot(0, 1);
+  // XX stabilizes Bell+ -> outcome 0, deterministic.
+  EXPECT_FALSE(tab.measure_pauli(PauliString::from_string("XX"), rng));
+  EXPECT_FALSE(tab.measure_pauli(PauliString::from_string("ZZ"), rng));
+  // After a Z error on one half, XX anti-stabilizes.
+  tab.z(0);
+  EXPECT_TRUE(tab.measure_pauli(PauliString::from_string("XX"), rng));
+}
+
+TEST(Tableau, MeasurePauliRandomCaseInstallsStabilizer) {
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    Tableau tab(2);
+    const bool m = tab.measure_pauli(PauliString::from_string("XX"), rng);
+    auto xx = PauliString::from_string("XX");
+    if (m) xx.set_phase(2);
+    EXPECT_TRUE(tab.state_is_stabilized_by(xx));
+    // Z0Z1 survives measuring XX (they commute).
+    EXPECT_TRUE(tab.state_is_stabilized_by(PauliString::from_string("ZZ")));
+    tab.check_invariants();
+  }
+}
+
+TEST(Tableau, MeasurePauliRejectsNonHermitian) {
+  Rng rng(1);
+  Tableau tab(1);
+  auto p = PauliString::single(1, 0, Pauli::X);
+  p.set_phase(1);
+  EXPECT_THROW(tab.measure_pauli(p, rng), ContractViolation);
+}
+
+// --- Cross-validation against the state vector ---------------------------
+
+struct RandomCliffordCase {
+  std::uint64_t seed;
+  std::size_t qubits;
+  int gates;
+};
+
+class CrossValidation
+    : public ::testing::TestWithParam<RandomCliffordCase> {};
+
+TEST_P(CrossValidation, TableauMatchesStateVector) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  Tableau tab(param.qubits);
+  StateVector sv(param.qubits);
+
+  for (int g = 0; g < param.gates; ++g) {
+    const std::size_t q = rng.below(param.qubits);
+    std::size_t q2 = rng.below(param.qubits);
+    while (q2 == q) q2 = rng.below(param.qubits);
+    switch (rng.below(8)) {
+      case 0: tab.h(q); sv.apply1(q, qsim::gate_h()); break;
+      case 1: tab.s(q); sv.apply1(q, qsim::gate_s()); break;
+      case 2: tab.sdg(q); sv.apply1(q, qsim::gate_sdg()); break;
+      case 3: tab.x(q); sv.apply1(q, qsim::gate_x()); break;
+      case 4: tab.y(q); sv.apply1(q, qsim::gate_y()); break;
+      case 5: tab.z(q); sv.apply1(q, qsim::gate_z()); break;
+      case 6: tab.cnot(q, q2); sv.apply_cnot(q, q2); break;
+      case 7: tab.cz(q, q2); sv.apply_cz(q, q2); break;
+    }
+  }
+
+  tab.check_invariants();
+  // Every single-qubit Z probability agrees.
+  for (std::size_t q = 0; q < param.qubits; ++q)
+    EXPECT_NEAR(tab.expectation_z(q), sv.expectation_z(q), kEps);
+
+  // Every stabilizer generator reported by the tableau stabilizes the dense
+  // state, and random Paulis have matching expectations.
+  for (std::size_t i = 0; i < param.qubits; ++i) {
+    const auto gst = tab.stabilizer(i);
+    EXPECT_NEAR(dense_expectation(sv, gst).real(), 1.0, 1e-8);
+  }
+  Rng prng(param.seed ^ 0xABCD);
+  for (int i = 0; i < 10; ++i) {
+    PauliString p(param.qubits);
+    for (std::size_t q = 0; q < param.qubits; ++q)
+      p.set(q, static_cast<Pauli>(prng.below(4)));
+    if (p.is_identity()) continue;
+    EXPECT_NEAR(tab.expectation_pauli(p), dense_expectation(sv, p).real(),
+                1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCircuits, CrossValidation,
+    ::testing::Values(RandomCliffordCase{101, 2, 20},
+                      RandomCliffordCase{102, 3, 40},
+                      RandomCliffordCase{103, 4, 60},
+                      RandomCliffordCase{104, 5, 80},
+                      RandomCliffordCase{105, 6, 120},
+                      RandomCliffordCase{106, 4, 200},
+                      RandomCliffordCase{107, 7, 150},
+                      RandomCliffordCase{108, 8, 250}));
+
+// Measurement statistics cross-check: tableau respects Born probabilities
+// after a random circuit (tested via many collapses on copies).
+TEST(CrossValidationMeasure, BornRule) {
+  Rng circuit_rng(2024);
+  Tableau tab(3);
+  StateVector sv(3);
+  // A fixed small circuit creating partial entanglement.
+  tab.h(0); sv.apply1(0, qsim::gate_h());
+  tab.cnot(0, 1); sv.apply_cnot(0, 1);
+  tab.s(1); sv.apply1(1, qsim::gate_s());
+  tab.h(2); sv.apply1(2, qsim::gate_h());
+  tab.cz(1, 2); sv.apply_cz(1, 2);
+  tab.h(1); sv.apply1(1, qsim::gate_h());
+
+  const double p1 = sv.prob_one(1);
+  Rng mrng(4);
+  int ones = 0;
+  const int shots = 4000;
+  for (int i = 0; i < shots; ++i) {
+    Tableau copy = tab;
+    ones += copy.measure(1, mrng) ? 1 : 0;
+  }
+  EXPECT_NEAR(ones / double(shots), p1, 0.04);
+}
+
+}  // namespace
+}  // namespace eqc::stab

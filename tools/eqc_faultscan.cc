@@ -1,0 +1,215 @@
+// eqc_faultscan — command-line fault-tolerance analysis of the library's
+// gadgets, without writing any C++.
+//
+// Usage:
+//   eqc_faultscan <gadget> [options]
+//
+// Gadgets:
+//   ngate      the Fig. 1 N gate (encoded |1>_L source)
+//   recovery   the Sec. 5 measurement-free error recovery
+//   recovery-measured   the measurement-based recovery baseline
+//
+// Options:
+//   --reps N          N-gate repetitions (1, 3, 5; default 3)
+//   --no-syndrome     disable the N-gate Hamming check (ablation)
+//   --correlated      use the correlated (FullDepolarizing) fault model
+//   --pairs BUDGET    also run fault-pair counting with this budget
+//   --mc P TRIALS     Monte-Carlo failure rate at error probability P
+//   --seed S          RNG seed (default 1)
+//
+// Examples:
+//   eqc_faultscan ngate
+//   eqc_faultscan ngate --reps 5 --correlated
+//   eqc_faultscan recovery --pairs 5000 --mc 1e-4 2000
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/fault_enum.h"
+#include "circuit/schedule.h"
+#include "codes/steane.h"
+#include "ftqc/layout.h"
+#include "ftqc/ngate.h"
+#include "ftqc/recovery.h"
+#include "noise/model.h"
+#include "noise/monte_carlo.h"
+
+using namespace eqc;
+using codes::Block;
+using codes::Steane;
+
+namespace {
+
+struct Options {
+  std::string gadget;
+  int reps = 3;
+  bool syndrome = true;
+  bool correlated = false;
+  std::uint64_t pair_budget = 0;
+  double mc_p = 0.0;
+  std::uint64_t mc_trials = 0;
+  std::uint64_t seed = 1;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: eqc_faultscan <ngate|recovery|recovery-measured>\n"
+               "       [--reps N] [--no-syndrome] [--correlated]\n"
+               "       [--pairs BUDGET] [--mc P TRIALS] [--seed S]\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Options opt;
+  opt.gadget = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        usage();
+      }
+      return argv[++i];
+    };
+    if (arg == "--reps")
+      opt.reps = std::atoi(next("--reps"));
+    else if (arg == "--no-syndrome")
+      opt.syndrome = false;
+    else if (arg == "--correlated")
+      opt.correlated = true;
+    else if (arg == "--pairs")
+      opt.pair_budget = std::strtoull(next("--pairs"), nullptr, 10);
+    else if (arg == "--mc") {
+      opt.mc_p = std::atof(next("--mc"));
+      opt.mc_trials = std::strtoull(next("--mc trials"), nullptr, 10);
+    } else if (arg == "--seed")
+      opt.seed = std::strtoull(next("--seed"), nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+    }
+  }
+  return opt;
+}
+
+analysis::FaultExperiment build_ngate(const Options& opt) {
+  ftqc::Layout layout;
+  const Block source = layout.block();
+  auto anc = ftqc::allocate_ngate_ancillas(layout, opt.reps);
+  const auto out = layout.reg(7);
+
+  analysis::FaultExperiment ex;
+  ex.num_qubits = layout.total();
+  ex.prep = circuit::Circuit(layout.total());
+  Steane::append_encode_zero(ex.prep, source);
+  Steane::append_logical_x(ex.prep, source);
+  ex.gadget = circuit::Circuit(layout.total());
+  ftqc::NGateOptions nopt;
+  nopt.repetitions = opt.reps;
+  nopt.syndrome_check = opt.syndrome;
+  ftqc::append_ngate(ex.gadget, source, out, anc, nopt);
+  ex.failed = [out, source](circuit::TabBackend& b,
+                            const circuit::ExecResult&) {
+    int ones = 0;
+    for (auto q : out) ones += b.tableau().deterministic_z_value(q) ? 1 : 0;
+    if (2 * ones <= static_cast<int>(out.size())) return true;
+    Rng rng(3);
+    Steane::perfect_correct(b.tableau(), source, rng);
+    return Steane::logical_z_expectation(b.tableau(), source) != -1.0;
+  };
+  ex.seed = opt.seed;
+  return ex;
+}
+
+analysis::FaultExperiment build_recovery(const Options& opt,
+                                         bool measurement_free) {
+  ftqc::Layout layout;
+  const Block data = layout.block();
+  auto anc = ftqc::allocate_recovery_ancillas(layout);
+  analysis::FaultExperiment ex;
+  ex.num_qubits = layout.total();
+  ex.prep = circuit::Circuit(layout.total());
+  Steane::append_encode_zero(ex.prep, data);
+  ex.gadget = circuit::Circuit(layout.total());
+  ftqc::RecoveryOptions ropt;
+  ropt.measurement_free = measurement_free;
+  ftqc::append_recovery(ex.gadget, data, anc, ropt);
+  ex.failed = [data](circuit::TabBackend& b, const circuit::ExecResult&) {
+    Rng rng(5);
+    Steane::perfect_correct(b.tableau(), data, rng);
+    return Steane::logical_z_expectation(b.tableau(), data) != 1.0;
+  };
+  ex.seed = opt.seed;
+  return ex;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  analysis::FaultExperiment ex;
+  if (opt.gadget == "ngate")
+    ex = build_ngate(opt);
+  else if (opt.gadget == "recovery")
+    ex = build_recovery(opt, true);
+  else if (opt.gadget == "recovery-measured")
+    ex = build_recovery(opt, false);
+  else
+    usage();
+  if (opt.correlated) ex.model = analysis::FaultModel::FullDepolarizing;
+
+  const auto sched = circuit::schedule(ex.gadget);
+  const auto sites = circuit::enumerate_fault_sites(ex.gadget);
+  std::printf("gadget %s: %zu qubits, %zu gates, depth %zu, %zu fault "
+              "sites\n",
+              opt.gadget.c_str(), ex.num_qubits, ex.gadget.size(),
+              sched.depth(), sites.size());
+  std::printf("fault model: %s\n",
+              opt.correlated ? "correlated (FullDepolarizing)"
+                             : "paper (one single-qubit Pauli per location)");
+
+  std::printf("\nsingle-fault scan...\n");
+  const auto single = analysis::run_single_faults(ex);
+  std::printf("  %zu faults tested, %zu failures -> %s\n",
+              single.faults_tested, single.failures,
+              single.failures == 0 ? "1-FAULT TOLERANT"
+                                   : "NOT fault tolerant");
+  if (!single.failing.empty()) {
+    std::printf("  first failing fault: ordinal %zu, %s\n",
+                single.failing[0].ordinal,
+                single.failing[0].error.to_string().substr(0, 40).c_str());
+  }
+
+  if (opt.pair_budget > 0) {
+    std::printf("\nfault-pair counting (budget %llu)...\n",
+                static_cast<unsigned long long>(opt.pair_budget));
+    const auto pairs = analysis::run_fault_pairs(ex, opt.pair_budget);
+    std::printf("  pairs %llu (%s), malignant %.3f%%\n",
+                static_cast<unsigned long long>(pairs.pairs_tested),
+                pairs.exhaustive ? "exhaustive" : "sampled",
+                100.0 * pairs.malignant_fraction());
+    std::printf("  P_fail ~ %.1f p^2, pseudo-threshold p* ~ %.3e\n",
+                pairs.p_squared_coefficient(), pairs.pseudo_threshold());
+  }
+
+  if (opt.mc_trials > 0) {
+    std::printf("\nMonte-Carlo at p = %g (%llu trials)...\n", opt.mc_p,
+                static_cast<unsigned long long>(opt.mc_trials));
+    const auto counter = noise::run_trials(
+        opt.mc_trials, opt.seed, [&](Rng& rng) {
+          circuit::TabBackend backend(ex.num_qubits, rng.split());
+          circuit::execute(ex.prep, backend);
+          noise::StochasticInjector injector(
+              noise::NoiseModel::paper_model(opt.mc_p), rng.split());
+          const auto result = circuit::execute(ex.gadget, backend, &injector);
+          return ex.failed(backend, result);
+        });
+    const auto iv = counter.interval();
+    std::printf("  failure rate %.5f  [wilson 95%%: %.5f, %.5f]\n",
+                counter.rate(), iv.low, iv.high);
+  }
+  return single.failures == 0 ? 0 : 1;
+}
