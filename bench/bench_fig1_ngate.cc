@@ -70,10 +70,10 @@ struct NGateBench {
     return ex;
   }
 
-  double monte_carlo_rate(const noise::NoiseModel& model,
-                          std::uint64_t trials, std::uint64_t seed) const {
+  FailureCounter monte_carlo(const noise::NoiseModel& model,
+                             std::uint64_t trials, std::uint64_t seed) const {
     const auto ex = experiment();
-    const auto counter = noise::run_trials(
+    return noise::run_trials(
         trials, seed, [&](Rng& rng) {
           circuit::TabBackend backend(ex.num_qubits, rng.split());
           circuit::execute(ex.prep, backend);
@@ -82,7 +82,6 @@ struct NGateBench {
               circuit::execute(ex.gadget, backend, &injector);
           return ex.failed(backend, result);
         });
-    return counter.rate();
   }
 };
 
@@ -152,20 +151,21 @@ int main() {
   {
     const std::vector<double> ps = {3e-4, 1e-3, 3e-3};
     const std::uint64_t trials = bench::scaled(12000);
-    std::printf("  %-9s %-14s %-17s %-12s\n", "p", "FT (3,synd)",
+    std::printf("  %-9s %-27s %-27s %-27s\n", "p", "FT (3,synd)",
                 "no-syndrome", "1 repetition");
     std::vector<double> ft_rates, nos_rates, rep1_rates;
     for (double p : ps) {
       NGateBench ft(true, 3, true), nos(true, 3, false), rep1(true, 1, true);
       const auto model = noise::NoiseModel::paper_model(p);
-      const double r_ft = ft.monte_carlo_rate(model, trials, 42);
-      const double r_nos = nos.monte_carlo_rate(model, trials, 43);
-      const double r_rep1 = rep1.monte_carlo_rate(model, trials, 44);
-      ft_rates.push_back(r_ft);
-      nos_rates.push_back(r_nos);
-      rep1_rates.push_back(r_rep1);
-      std::printf("  %-9.0e %-14.5f %-17.5f %-12.5f\n", p, r_ft, r_nos,
-                  r_rep1);
+      const auto c_ft = ft.monte_carlo(model, trials, 42);
+      const auto c_nos = nos.monte_carlo(model, trials, 43);
+      const auto c_rep1 = rep1.monte_carlo(model, trials, 44);
+      ft_rates.push_back(c_ft.rate());
+      nos_rates.push_back(c_nos.rate());
+      rep1_rates.push_back(c_rep1.rate());
+      std::printf("  %-9.0e %-27s %-27s %-27s\n", p,
+                  bench::rate_ci(c_ft).c_str(), bench::rate_ci(c_nos).c_str(),
+                  bench::rate_ci(c_rep1).c_str());
     }
     const double slope_ft = bench::loglog_slope(ps, ft_rates);
     const double slope_nos = bench::loglog_slope(ps, nos_rates);
@@ -182,12 +182,13 @@ int main() {
     const std::vector<double> ps = {1e-3, 3e-3, 1e-2};
     const std::uint64_t trials = bench::scaled(3000);
     std::vector<double> rates;
-    std::printf("  %-9s %-14s\n", "p", "FT (3,synd)");
+    std::printf("  %-9s %-27s\n", "p", "FT (3,synd)");
     for (double p : ps) {
       NGateBench ft(true, 3, true);
-      rates.push_back(
-          ft.monte_carlo_rate(noise::NoiseModel::depolarizing(p), trials, 52));
-      std::printf("  %-9.0e %-14.5f\n", p, rates.back());
+      const auto c =
+          ft.monte_carlo(noise::NoiseModel::depolarizing(p), trials, 52);
+      rates.push_back(c.rate());
+      std::printf("  %-9.0e %-27s\n", p, bench::rate_ci(c).c_str());
     }
     std::printf("  log-log slope: %.2f — correlated single faults (the\n"
                 "  majority fan-out hazard) reintroduce a linear term.\n",

@@ -57,17 +57,16 @@ analysis::FaultExperiment make_experiment(bool plus, bool measurement_free) {
   return ex;
 }
 
-double monte_carlo_rate(const analysis::FaultExperiment& ex, double p,
-                        std::uint64_t trials, std::uint64_t seed) {
+FailureCounter monte_carlo(const analysis::FaultExperiment& ex, double p,
+                           std::uint64_t trials, std::uint64_t seed) {
   return noise::run_trials(trials, seed, [&](Rng& rng) {
-           circuit::TabBackend backend(ex.num_qubits, rng.split());
-           circuit::execute(ex.prep, backend);
-           noise::StochasticInjector injector(
-               noise::NoiseModel::paper_model(p), rng.split());
-           const auto result = circuit::execute(ex.gadget, backend, &injector);
-           return ex.failed(backend, result);
-         })
-      .rate();
+    circuit::TabBackend backend(ex.num_qubits, rng.split());
+    circuit::execute(ex.prep, backend);
+    noise::StochasticInjector injector(noise::NoiseModel::paper_model(p),
+                                       rng.split());
+    const auto result = circuit::execute(ex.gadget, backend, &injector);
+    return ex.failed(backend, result);
+  });
 }
 
 }  // namespace
@@ -150,17 +149,16 @@ int main() {
                   circuit::enumerate_fault_sites(mf.gadget).size(),
                   circuit::enumerate_fault_sites(mb.gadget).size());
     }
-    std::printf("  %-9s %-18s %-18s\n", "p", "measurement-free",
+    std::printf("  %-9s %-27s %-27s\n", "p", "measurement-free",
                 "measured baseline");
     std::vector<double> mf_rates, mb_rates;
     for (double p : ps) {
-      const double mf =
-          monte_carlo_rate(make_experiment(false, true), p, trials, 31);
-      const double mb =
-          monte_carlo_rate(make_experiment(false, false), p, trials, 37);
-      mf_rates.push_back(mf);
-      mb_rates.push_back(mb);
-      std::printf("  %-9.0e %-18.5f %-18.5f\n", p, mf, mb);
+      const auto mf = monte_carlo(make_experiment(false, true), p, trials, 31);
+      const auto mb = monte_carlo(make_experiment(false, false), p, trials, 37);
+      mf_rates.push_back(mf.rate());
+      mb_rates.push_back(mb.rate());
+      std::printf("  %-9.0e %-27s %-27s\n", p, bench::rate_ci(mf).c_str(),
+                  bench::rate_ci(mb).c_str());
     }
     const double slope_mf = bench::loglog_slope(ps, mf_rates);
     const double slope_mb = bench::loglog_slope(ps, mb_rates);

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
+
 namespace eqc::bench {
 
 inline double scale() {
@@ -44,6 +46,16 @@ inline void banner(const std::string& title) {
 inline int verdict(bool pass, const std::string& claim) {
   std::printf("[%s] %s\n", pass ? "PASS" : "FAIL", claim.c_str());
   return pass ? 0 : 1;
+}
+
+/// Formats a Monte-Carlo estimate as "rate [low,high]" using the counter's
+/// Wilson 95% interval — sampled rates are never quoted bare.
+inline std::string rate_ci(const FailureCounter& counter) {
+  const auto iv = counter.interval();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.5f [%.5f,%.5f]", counter.rate(), iv.low,
+                iv.high);
+  return std::string(buf);
 }
 
 /// Least-squares slope of log(y) vs log(x), skipping non-positive ys.

@@ -1,0 +1,682 @@
+#include "analysis/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_set>
+
+#include "circuit/tab_backend.h"
+#include "common/assert.h"
+
+namespace eqc::analysis {
+
+namespace {
+
+using pauli::Pauli;
+using pauli::PauliString;
+
+// ---------------------------------------------------------------------------
+// Per-item RNG streams: counter-split off the campaign seed via SplitMix64,
+// so an item's stream depends only on its position — never on which worker
+// or which kill/resume cycle evaluates it.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (index + 1));
+  (void)split_mix64(state);
+  (void)split_mix64(state);
+  return split_mix64(state);
+}
+
+const char* mode_name(CampaignMode mode) {
+  return mode == CampaignMode::KFault ? "kfault" : "chaos";
+}
+
+// --- fault (de)serialization ------------------------------------------------
+
+json::Value fault_to_json(const Fault& f) {
+  json::Array err;
+  for (const std::size_t q : f.error.support()) {
+    json::Array entry;
+    entry.emplace_back(q);
+    entry.emplace_back(std::string(1, pauli::to_char(f.error.get(q))));
+    err.emplace_back(std::move(entry));
+  }
+  json::Object obj;
+  obj.emplace_back("ordinal", json::Value(f.ordinal));
+  obj.emplace_back("error", json::Value(std::move(err)));
+  return json::Value(std::move(obj));
+}
+
+Fault fault_from_json(const json::Value& v, std::size_t num_qubits) {
+  Fault f;
+  f.ordinal = static_cast<std::size_t>(v.at("ordinal").as_u64());
+  f.error = PauliString(num_qubits);
+  for (const auto& entry : v.at("error").as_array()) {
+    const auto& pair = entry.as_array();
+    EQC_EXPECTS(pair.size() == 2);
+    const std::uint64_t q = pair[0].as_u64();
+    EQC_EXPECTS(q < num_qubits);
+    const std::string& label = pair[1].as_string();
+    EQC_EXPECTS(label.size() == 1);
+    switch (label[0]) {
+      case 'X': f.error.set(q, Pauli::X); break;
+      case 'Y': f.error.set(q, Pauli::Y); break;
+      case 'Z': f.error.set(q, Pauli::Z); break;
+      default: EQC_EXPECTS(false && "bad Pauli label in fault JSON");
+    }
+  }
+  return f;
+}
+
+json::Value malignant_set_to_json(const MalignantSet& m) {
+  json::Object obj;
+  obj.emplace_back("index", json::Value(m.index));
+  obj.emplace_back("minimal", json::Value(m.minimal));
+  if (m.tripped) obj.emplace_back("trip_ordinal", json::Value(m.trip_ordinal));
+  json::Array faults;
+  for (const auto& f : m.faults) faults.push_back(fault_to_json(f));
+  obj.emplace_back("faults", json::Value(std::move(faults)));
+  return json::Value(std::move(obj));
+}
+
+MalignantSet malignant_set_from_json(const json::Value& v,
+                                     std::size_t num_qubits) {
+  MalignantSet m;
+  m.index = v.at("index").as_u64();
+  m.minimal = v.at("minimal").as_bool();
+  if (const json::Value* trip = v.find("trip_ordinal")) {
+    m.tripped = true;
+    m.trip_ordinal = static_cast<std::size_t>(trip->as_u64());
+  }
+  for (const auto& f : v.at("faults").as_array())
+    m.faults.push_back(fault_from_json(f, num_qubits));
+  return m;
+}
+
+// --- campaign plumbing ------------------------------------------------------
+
+struct ShardState {
+  std::uint64_t cursor = 0;  ///< items of this shard's subsequence done
+  FailureCounter counter;    ///< trials = sets tested, failures = malignant
+  std::vector<MalignantSet> sets;
+};
+
+/// Everything immutable during the sweep.
+struct CampaignPlan {
+  const FaultExperiment* ex = nullptr;
+  const CampaignConfig* cfg = nullptr;
+  std::vector<Fault> faults;               ///< single-fault universe
+  std::vector<circuit::FaultSite> sites;   ///< for chaos sampling
+  std::uint64_t total_items = 0;
+  bool exhaustive = false;
+  /// Pre-sampled combination ranks (budgeted KFault); empty otherwise.
+  std::vector<std::uint64_t> sampled_ranks;
+  unsigned num_shards = 1;
+};
+
+bool distinct_ordinals(const std::vector<std::uint32_t>& combo,
+                       const std::vector<Fault>& faults) {
+  for (std::size_t a = 1; a < combo.size(); ++a)
+    if (faults[combo[a]].ordinal == faults[combo[a - 1]].ordinal) return false;
+  // Faults at one site are contiguous in enumeration order, so equal
+  // ordinals in an ascending combination are always adjacent.
+  return true;
+}
+
+/// Deterministically pre-samples `budget` distinct valid combination ranks
+/// (pure function of the arguments; regenerated identically on resume).
+std::vector<std::uint64_t> sample_distinct_ranks(
+    std::uint64_t total_combos, std::uint64_t budget, std::uint64_t n,
+    std::size_t k, std::uint64_t seed, const std::vector<Fault>& faults) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(budget));
+  std::unordered_set<std::uint64_t> dedup;
+  dedup.reserve(static_cast<std::size_t>(budget) * 2);
+  const std::uint64_t max_attempts = 64 * budget + 1024;
+  for (std::uint64_t attempt = 0;
+       attempt < max_attempts && out.size() < budget; ++attempt) {
+    const std::uint64_t r = rng.below(total_combos);
+    if (!dedup.insert(r).second) continue;
+    if (!distinct_ordinals(combination_unrank(r, n, k), faults)) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+/// Item verdict; `tested` is false for skipped stream positions (same-site
+/// collisions in the exhaustive rank space).
+struct ItemOutcome {
+  bool tested = false;
+  bool malignant = false;
+  std::vector<Fault> faults;
+};
+
+ItemOutcome evaluate_item(const CampaignPlan& plan, std::uint64_t pos) {
+  const FaultExperiment& ex = *plan.ex;
+  const CampaignConfig& cfg = *plan.cfg;
+  ItemOutcome out;
+
+  if (cfg.mode == CampaignMode::KFault) {
+    const std::uint64_t rank =
+        plan.sampled_ranks.empty() ? pos : plan.sampled_ranks[pos];
+    const auto combo =
+        combination_unrank(rank, plan.faults.size(), cfg.k);
+    if (!distinct_ordinals(combo, plan.faults)) return out;  // skip
+    for (const std::uint32_t idx : combo) out.faults.push_back(plan.faults[idx]);
+  } else {
+    // Chaos: every site fires independently under the noise model, from a
+    // per-trial counter-split stream.
+    Rng item_rng(derive_seed(cfg.sample_seed, pos));
+    for (const auto& site : plan.sites) {
+      const double p = cfg.chaos_model.probability_for(site.kind);
+      if (p <= 0.0 || !item_rng.bernoulli(p)) continue;
+      out.faults.push_back(
+          Fault{site.ordinal,
+                noise::sample_error(cfg.chaos_model.channel, site.qubits,
+                                    ex.num_qubits, item_rng)});
+    }
+  }
+
+  out.tested = true;
+  // An empty chaos configuration is a noiseless run: tested, never
+  // malignant (skips the simulation).
+  out.malignant = !out.faults.empty() && run_with_faults(ex, out.faults);
+  return out;
+}
+
+// --- checkpointing ----------------------------------------------------------
+
+json::Value fingerprint_json(const CampaignPlan& plan) {
+  const CampaignConfig& cfg = *plan.cfg;
+  json::Object fp;
+  fp.emplace_back("mode", json::Value(mode_name(cfg.mode)));
+  fp.emplace_back("k", json::Value(cfg.k));
+  fp.emplace_back("budget", json::Value(cfg.budget));
+  fp.emplace_back("sample_seed", json::Value(cfg.sample_seed));
+  fp.emplace_back("experiment_seed", json::Value(plan.ex->seed));
+  fp.emplace_back("fault_model",
+                  json::Value(plan.ex->model == FaultModel::SingleQubit
+                                  ? "single"
+                                  : "depolarizing"));
+  fp.emplace_back("num_qubits", json::Value(plan.ex->num_qubits));
+  fp.emplace_back("num_sites", json::Value(plan.sites.size()));
+  fp.emplace_back("single_faults", json::Value(plan.faults.size()));
+  fp.emplace_back("total_items", json::Value(plan.total_items));
+  fp.emplace_back("num_shards", json::Value(plan.num_shards));
+  fp.emplace_back("chaos_p", json::Value(cfg.chaos_model.p));
+  return json::Value(std::move(fp));
+}
+
+std::string checkpoint_to_json(const CampaignPlan& plan,
+                               const std::vector<ShardState>& shards) {
+  json::Object doc;
+  doc.emplace_back("version", json::Value(1));
+  doc.emplace_back("fingerprint", fingerprint_json(plan));
+  json::Array shard_arr;
+  for (const auto& st : shards) {
+    json::Object s;
+    s.emplace_back("cursor", json::Value(st.cursor));
+    s.emplace_back("tested", json::Value(st.counter.trials));
+    s.emplace_back("malignant", json::Value(st.counter.failures));
+    shard_arr.emplace_back(std::move(s));
+  }
+  doc.emplace_back("shards", json::Value(std::move(shard_arr)));
+  json::Array sets;
+  std::vector<const MalignantSet*> all;
+  for (const auto& st : shards)
+    for (const auto& m : st.sets) all.push_back(&m);
+  std::sort(all.begin(), all.end(),
+            [](const MalignantSet* a, const MalignantSet* b) {
+              return a->index < b->index;
+            });
+  for (const MalignantSet* m : all) sets.push_back(malignant_set_to_json(*m));
+  doc.emplace_back("malignant_sets", json::Value(std::move(sets)));
+  return json::Value(std::move(doc)).dump();
+}
+
+void write_file_atomically(const std::string& path,
+                           const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    EQC_CHECK(out.good());
+    out << content;
+    EQC_CHECK(out.good());
+  }
+  EQC_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0);
+}
+
+bool read_file(const std::string& path, std::string& content) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  content = ss.str();
+  return true;
+}
+
+/// Restores shard states from a checkpoint; throws ContractViolation on a
+/// fingerprint mismatch (the checkpoint belongs to a different campaign).
+std::vector<ShardState> load_checkpoint(const CampaignPlan& plan,
+                                        const std::string& text) {
+  const json::Value doc = json::Value::parse(text);
+  const std::string want = fingerprint_json(plan).dump();
+  const std::string got = doc.at("fingerprint").dump();
+  if (want != got)
+    throw ContractViolation(
+        "campaign checkpoint fingerprint mismatch:\n  checkpoint " + got +
+        "\n  campaign   " + want);
+
+  std::vector<ShardState> shards(plan.num_shards);
+  const auto& shard_arr = doc.at("shards").as_array();
+  EQC_EXPECTS(shard_arr.size() == plan.num_shards);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    shards[s].cursor = shard_arr[s].at("cursor").as_u64();
+    shards[s].counter.trials = shard_arr[s].at("tested").as_u64();
+    shards[s].counter.failures = shard_arr[s].at("malignant").as_u64();
+  }
+  for (const auto& m : doc.at("malignant_sets").as_array()) {
+    MalignantSet set = malignant_set_from_json(m, plan.ex->num_qubits);
+    shards[set.index % plan.num_shards].sets.push_back(std::move(set));
+  }
+  return shards;
+}
+
+}  // namespace
+
+// --- combinatorics ----------------------------------------------------------
+
+std::uint64_t binomial_or_max(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    const std::uint64_t factor = n - k + i;
+    if (result > UINT64_MAX / factor) return UINT64_MAX;
+    result = result * factor / i;  // exact: running value is C(n-k+i, i)
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> combination_unrank(std::uint64_t rank,
+                                              std::uint64_t n,
+                                              std::size_t k) {
+  EQC_EXPECTS(k >= 1 && k <= n);
+  EQC_EXPECTS(rank < binomial_or_max(n, k));
+  std::vector<std::uint32_t> out(k);
+  std::uint64_t r = rank;
+  std::uint64_t bound = n;  // exclusive upper bound for the next element
+  for (std::size_t i = k; i >= 1; --i) {
+    // Largest c < bound with C(c, i) <= r, by binary search on the
+    // monotone c -> C(c, i) (exists: C(i-1, i) = 0 <= r).
+    std::uint64_t lo = i - 1;
+    std::uint64_t hi = bound - 1;
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+      if (binomial_or_max(mid, i) <= r)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    const std::uint64_t c = lo;
+    out[i - 1] = static_cast<std::uint32_t>(c);
+    r -= binomial_or_max(c, i);
+    bound = c;
+  }
+  return out;
+}
+
+// --- report math ------------------------------------------------------------
+
+double CampaignReport::p_k_coefficient() const {
+  if (mode != CampaignMode::KFault) return 0.0;
+  // P(exactly k sites err) ~ C(L, k) p^k; conditioned on k errors the
+  // Pauli at each site is uniform, so the failure probability given k
+  // errors is the malignant fraction over uniformly drawn k-sets.
+  double combos = 1.0;
+  const double l = static_cast<double>(num_sites);
+  for (std::size_t i = 0; i < k; ++i)
+    combos *= (l - static_cast<double>(i)) / static_cast<double>(i + 1);
+  return combos * malignant_fraction();
+}
+
+double CampaignReport::pseudo_threshold() const {
+  if (k < 2) return 1.0;
+  const double a = p_k_coefficient();
+  if (a <= 0.0) return 1.0;
+  return std::pow(a, -1.0 / (static_cast<double>(k) - 1.0));
+}
+
+json::Value CampaignReport::to_json_value() const {
+  json::Object doc;
+  doc.emplace_back("version", json::Value(1));
+  doc.emplace_back("engine", json::Value("eqc-campaign"));
+  doc.emplace_back("mode", json::Value(mode_name(mode)));
+  doc.emplace_back("k", json::Value(k));
+  doc.emplace_back("num_qubits", json::Value(num_qubits));
+  doc.emplace_back("num_sites", json::Value(num_sites));
+  doc.emplace_back("single_faults", json::Value(single_faults));
+  doc.emplace_back("experiment_seed", json::Value(experiment_seed));
+  doc.emplace_back("sample_seed", json::Value(sample_seed));
+  doc.emplace_back("total_items", json::Value(total_items));
+  doc.emplace_back("sets_tested", json::Value(sets_tested));
+  doc.emplace_back("malignant", json::Value(malignant));
+  doc.emplace_back("exhaustive", json::Value(exhaustive));
+  doc.emplace_back("complete", json::Value(complete));
+  doc.emplace_back("malignant_fraction", json::Value(malignant_fraction()));
+  const auto iv = malignant_interval();
+  doc.emplace_back("wilson_low", json::Value(iv.low));
+  doc.emplace_back("wilson_high", json::Value(iv.high));
+  if (mode == CampaignMode::KFault) {
+    doc.emplace_back("p_k_coefficient", json::Value(p_k_coefficient()));
+    doc.emplace_back("pseudo_threshold", json::Value(pseudo_threshold()));
+  } else {
+    doc.emplace_back("chaos_p", json::Value(chaos_p));
+  }
+  json::Array sets;
+  for (const auto& m : malignant_sets) sets.push_back(malignant_set_to_json(m));
+  doc.emplace_back("malignant_sets", json::Value(std::move(sets)));
+  return json::Value(std::move(doc));
+}
+
+// --- shrinking --------------------------------------------------------------
+
+std::vector<Fault> shrink_fault_set(const FaultExperiment& ex,
+                                    std::vector<Fault> faults) {
+  // ddmin specialized to single-element deltas: repeatedly drop any one
+  // fault whose removal keeps the set failing, until no removal does.
+  // Every run is deterministic, so the fixed point is 1-minimal.
+  bool changed = true;
+  while (changed && !faults.empty()) {
+    changed = false;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      std::vector<Fault> candidate;
+      candidate.reserve(faults.size() - 1);
+      for (std::size_t j = 0; j < faults.size(); ++j)
+        if (j != i) candidate.push_back(faults[j]);
+      if (!candidate.empty() && run_with_faults(ex, candidate)) {
+        faults = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return faults;
+}
+
+// --- tripwires --------------------------------------------------------------
+
+ProbeInjector::ProbeInjector(circuit::FaultInjector* inner,
+                             std::function<bool(circuit::Backend&)> violated,
+                             std::vector<std::size_t> probe_after)
+    : inner_(inner),
+      violated_(std::move(violated)),
+      probe_after_(std::move(probe_after)) {
+  EQC_EXPECTS(std::is_sorted(probe_after_.begin(), probe_after_.end()));
+}
+
+void ProbeInjector::visit(const circuit::FaultSite& site,
+                          circuit::Backend& backend) {
+  if (inner_ != nullptr) inner_->visit(site, backend);
+  if (tripped_ || !violated_) return;
+  if (!probe_after_.empty() &&
+      !std::binary_search(probe_after_.begin(), probe_after_.end(),
+                          site.ordinal))
+    return;
+  if (violated_(backend)) {
+    tripped_ = true;
+    trip_ordinal_ = site.ordinal;
+  }
+}
+
+ProbeResult run_with_faults_probed(const FaultExperiment& ex,
+                                   const std::vector<Fault>& faults,
+                                   const TripwireOptions& tripwire) {
+  EQC_EXPECTS(ex.failed != nullptr);
+  EQC_EXPECTS(tripwire.enabled());
+  circuit::TabBackend backend(ex.num_qubits, Rng(ex.seed));
+  circuit::execute(ex.prep, backend);
+  circuit::PlantedInjector planted;
+  for (const auto& f : faults) planted.plant(f.ordinal, f.error);
+  ProbeInjector probe(
+      &planted,
+      [&tripwire](circuit::Backend& b) {
+        return tripwire.violated(static_cast<circuit::TabBackend&>(b));
+      },
+      tripwire.probe_after);
+  const auto result = circuit::execute(ex.gadget, backend, &probe);
+  EQC_ENSURES(planted.all_planted_visited());
+  ProbeResult out;
+  out.failed = ex.failed(backend, result);
+  out.tripped = probe.tripped();
+  out.trip_ordinal = probe.trip_ordinal();
+  return out;
+}
+
+std::vector<std::size_t> probe_ordinals_for_op_boundaries(
+    const circuit::Circuit& gadget,
+    const std::vector<std::size_t>& op_boundaries) {
+  const auto sites = circuit::enumerate_fault_sites(gadget);
+  std::vector<std::size_t> out;
+  for (const std::size_t boundary : op_boundaries) {
+    if (boundary == 0) continue;
+    const std::size_t target_op = boundary - 1;
+    for (const auto& site : sites) {
+      if (site.op_index == target_op) {
+        out.push_back(site.ordinal);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+namespace {
+
+/// Injector that evaluates an invariant after every site and records the
+/// ordinals where it held.  Injects no faults.
+class CalibrationInjector final : public circuit::FaultInjector {
+ public:
+  explicit CalibrationInjector(
+      const std::function<bool(circuit::TabBackend&)>& violated)
+      : violated_(violated) {}
+
+  void visit(const circuit::FaultSite& site,
+             circuit::Backend& backend) override {
+    if (!violated_(static_cast<circuit::TabBackend&>(backend)))
+      held_.push_back(site.ordinal);
+  }
+
+  std::vector<std::size_t> take_held() { return std::move(held_); }
+
+ private:
+  const std::function<bool(circuit::TabBackend&)>& violated_;
+  std::vector<std::size_t> held_;
+};
+
+}  // namespace
+
+std::vector<std::size_t> calibrate_probe_sites(
+    const FaultExperiment& ex,
+    const std::function<bool(circuit::TabBackend&)>& violated) {
+  EQC_EXPECTS(static_cast<bool>(violated));
+  circuit::TabBackend backend(ex.num_qubits, Rng(ex.seed));
+  circuit::execute(ex.prep, backend);
+  CalibrationInjector calibrate(violated);
+  circuit::execute(ex.gadget, backend, &calibrate);
+  auto held = calibrate.take_held();
+  std::sort(held.begin(), held.end());
+  held.erase(std::unique(held.begin(), held.end()), held.end());
+  return held;
+}
+
+// --- replay artifacts -------------------------------------------------------
+
+std::vector<std::vector<Fault>> parse_fault_sets(const std::string& json_text,
+                                                 std::size_t num_qubits) {
+  const json::Value doc = json::Value::parse(json_text);
+  std::vector<std::vector<Fault>> out;
+  for (const auto& m : doc.at("malignant_sets").as_array())
+    out.push_back(malignant_set_from_json(m, num_qubits).faults);
+  return out;
+}
+
+// --- the campaign driver ----------------------------------------------------
+
+CampaignReport run_campaign(const FaultExperiment& ex,
+                            const CampaignConfig& cfg) {
+  EQC_EXPECTS(ex.failed != nullptr);
+  EQC_EXPECTS(cfg.num_shards >= 1);
+  EQC_EXPECTS(cfg.mode != CampaignMode::Chaos || cfg.budget > 0);
+
+  CampaignPlan plan;
+  plan.ex = &ex;
+  plan.cfg = &cfg;
+  plan.faults = enumerate_single_faults(ex);
+  plan.sites = circuit::enumerate_fault_sites(ex.gadget);
+  plan.num_shards = cfg.num_shards;
+
+  if (cfg.mode == CampaignMode::KFault) {
+    EQC_EXPECTS(cfg.k >= 1 && cfg.k <= plan.faults.size());
+    const std::uint64_t total_combos =
+        binomial_or_max(plan.faults.size(), cfg.k);
+    if (cfg.budget == 0 || total_combos <= cfg.budget) {
+      // A fully exhaustive sweep must have an enumerable universe.
+      EQC_EXPECTS(total_combos != UINT64_MAX);
+      plan.exhaustive = true;
+      plan.total_items = total_combos;
+    } else {
+      plan.sampled_ranks = sample_distinct_ranks(
+          total_combos, cfg.budget, plan.faults.size(), cfg.k,
+          cfg.sample_seed, plan.faults);
+      plan.total_items = plan.sampled_ranks.size();
+    }
+  } else {
+    plan.total_items = cfg.budget;
+  }
+
+  // --- restore or initialize shard states. ---------------------------------
+  std::vector<ShardState> shards;
+  if (cfg.resume && !cfg.checkpoint_path.empty()) {
+    std::string text;
+    if (read_file(cfg.checkpoint_path, text))
+      shards = load_checkpoint(plan, text);
+  }
+  if (shards.empty()) shards.assign(plan.num_shards, ShardState{});
+
+  // --- the sweep. -----------------------------------------------------------
+  std::mutex mu;                       // shard states + checkpoint cadence
+  std::uint64_t items_since_ckpt = 0;
+  std::atomic<std::uint64_t> claimed{0};
+  std::atomic<bool> out_of_budget{false};
+  std::atomic<unsigned> next_shard{0};
+
+  auto checkpoint_locked = [&] {
+    if (!cfg.checkpoint_path.empty())
+      write_file_atomically(cfg.checkpoint_path,
+                            checkpoint_to_json(plan, shards));
+  };
+
+  auto worker = [&] {
+    for (;;) {
+      const unsigned s = next_shard.fetch_add(1);
+      if (s >= plan.num_shards) return;
+      ShardState& st = shards[s];
+      // Shard s owns stream positions s, s + S, s + 2S, ... (S = shards);
+      // exactly one worker processes a shard per run, in position order.
+      for (;;) {
+        if (out_of_budget.load()) return;
+        const std::uint64_t pos =
+            s + st.cursor * static_cast<std::uint64_t>(plan.num_shards);
+        if (pos >= plan.total_items) break;
+        if (cfg.max_items_this_run != 0 &&
+            claimed.fetch_add(1) >= cfg.max_items_this_run) {
+          out_of_budget.store(true);
+          return;
+        }
+
+        ItemOutcome outcome = evaluate_item(plan, pos);
+        MalignantSet found;
+        if (outcome.malignant) {
+          found.index = pos;
+          found.faults = std::move(outcome.faults);
+          if (cfg.shrink) {
+            found.faults = shrink_fault_set(ex, std::move(found.faults));
+            found.minimal = true;
+          }
+          if (cfg.tripwire.enabled()) {
+            const auto probed =
+                run_with_faults_probed(ex, found.faults, cfg.tripwire);
+            found.tripped = probed.tripped;
+            found.trip_ordinal = probed.trip_ordinal;
+          }
+        }
+
+        std::lock_guard<std::mutex> lock(mu);
+        ++st.cursor;
+        if (outcome.tested) st.counter.add(outcome.malignant);
+        if (outcome.malignant) st.sets.push_back(std::move(found));
+        if (++items_since_ckpt >= cfg.checkpoint_every) {
+          items_since_ckpt = 0;
+          checkpoint_locked();
+        }
+      }
+    }
+  };
+
+  const unsigned jobs = std::max(1u, cfg.jobs);
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    checkpoint_locked();  // never lose a clean stop's progress
+  }
+
+  // --- merge (deterministic: counters are sums, sets sort by position). ----
+  CampaignReport report;
+  report.mode = cfg.mode;
+  report.k = cfg.mode == CampaignMode::KFault ? cfg.k : 0;
+  report.num_qubits = ex.num_qubits;
+  report.num_sites = plan.sites.size();
+  report.single_faults = plan.faults.size();
+  report.total_items = plan.total_items;
+  report.experiment_seed = ex.seed;
+  report.sample_seed = cfg.sample_seed;
+  report.chaos_p = cfg.chaos_model.p;
+
+  FailureCounter merged;
+  bool complete = true;
+  for (unsigned s = 0; s < plan.num_shards; ++s) {
+    merged.merge(shards[s].counter);
+    const std::uint64_t pos =
+        s + shards[s].cursor * static_cast<std::uint64_t>(plan.num_shards);
+    if (pos < plan.total_items) complete = false;
+    for (auto& m : shards[s].sets)
+      report.malignant_sets.push_back(std::move(m));
+  }
+  std::sort(report.malignant_sets.begin(), report.malignant_sets.end(),
+            [](const MalignantSet& a, const MalignantSet& b) {
+              return a.index < b.index;
+            });
+  report.sets_tested = merged.trials;
+  report.malignant = merged.failures;
+  report.complete = complete;
+  report.exhaustive = plan.exhaustive && complete;
+  return report;
+}
+
+}  // namespace eqc::analysis

@@ -1,5 +1,8 @@
 #include "analysis/fault_enum.h"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "common/assert.h"
 
 namespace eqc::analysis {
@@ -64,6 +67,10 @@ bool run_with_faults(const FaultExperiment& ex,
   circuit::PlantedInjector injector;
   for (const auto& f : faults) injector.plant(f.ordinal, f.error);
   const auto result = circuit::execute(ex.gadget, backend, &injector);
+  // A plant whose ordinal was never visited (stale ordinal after a circuit
+  // edit, ordinal beyond the site count) would silently test the WRONG
+  // fault set; that must never pass as a verdict.
+  EQC_ENSURES(injector.all_planted_visited());
   return ex.failed(backend, result);
 }
 
@@ -131,14 +138,42 @@ PairReport run_fault_pairs(const FaultExperiment& ex, std::uint64_t budget,
     return report;
   }
 
+  // Sampled branch: draw DISTINCT unordered pairs.  Sampling with
+  // replacement would count repeated pairs more than once, biasing
+  // malignant_fraction() whenever the budget is a sizable fraction of the
+  // universe, so duplicates are rejected via a seen-set.  The number of
+  // distinct valid pairs (different ordinals) caps the draw: faults at the
+  // same site are contiguous in enumeration order, so the per-ordinal
+  // multiplicities give the same-site pair count exactly.
+  std::uint64_t same_site_pairs = 0;
+  for (std::uint64_t i = 0; i < n;) {
+    std::uint64_t j = i;
+    while (j < n && faults[j].ordinal == faults[i].ordinal) ++j;
+    const std::uint64_t m = j - i;
+    same_site_pairs += m * (m - 1) / 2;
+    i = j;
+  }
+  const std::uint64_t valid_pairs = total_pairs - same_site_pairs;
+  const std::uint64_t target = std::min(budget, valid_pairs);
+
   Rng rng(sample_seed);
-  while (report.pairs_tested < budget) {
-    const std::uint64_t i = rng.below(n);
-    const std::uint64_t j = rng.below(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(target));
+  // The rejection loop is coupon-collecting when target ~ valid_pairs;
+  // the attempt cap keeps the worst case bounded (and the run is then
+  // reported as the number of pairs actually tested).
+  const std::uint64_t max_attempts = 64 * target + 1024;
+  for (std::uint64_t attempt = 0;
+       attempt < max_attempts && report.pairs_tested < target; ++attempt) {
+    std::uint64_t i = rng.below(n);
+    std::uint64_t j = rng.below(n);
     if (i == j || faults[i].ordinal == faults[j].ordinal) continue;
+    if (i > j) std::swap(i, j);
+    if (!seen.insert(i * n + j).second) continue;  // duplicate pair
     ++report.pairs_tested;
     if (run_with_faults(ex, {faults[i], faults[j]})) ++report.malignant;
   }
+  report.exhaustive = report.pairs_tested == valid_pairs;
   return report;
 }
 

@@ -94,7 +94,9 @@ SingleFaultReport run_single_faults_sampled(const FaultExperiment& ex,
 
 /// Tests fault pairs.  If the total number of unordered pairs is at most
 /// `budget`, tests all of them (exhaustive); otherwise samples `budget`
-/// uniform random pairs.
+/// DISTINCT uniform random pairs (duplicates are rejected, and the draw is
+/// capped at the number of distinct different-site pairs, so a budget near
+/// the universe size does not bias malignant_fraction()).
 PairReport run_fault_pairs(const FaultExperiment& ex, std::uint64_t budget,
                            std::uint64_t sample_seed = 99);
 

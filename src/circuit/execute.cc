@@ -130,10 +130,12 @@ ExecResult execute(const Circuit& circuit, Backend& backend,
 
 void PlantedInjector::plant(std::size_t ordinal, pauli::PauliString fault) {
   planted_.emplace_back(ordinal, std::move(fault));
+  visited_.push_back(false);
 }
 
 void PlantedInjector::visit(const FaultSite& site, Backend& backend) {
-  for (const auto& [ord, fault] : planted_) {
+  for (std::size_t i = 0; i < planted_.size(); ++i) {
+    const auto& [ord, fault] = planted_[i];
     if (ord != site.ordinal) continue;
     // The planted fault must act within the site's qubit set.
     for (std::size_t q : fault.support())
@@ -141,7 +143,20 @@ void PlantedInjector::visit(const FaultSite& site, Backend& backend) {
                             static_cast<std::uint32_t>(q)) !=
                   site.qubits.end());
     backend.apply_pauli(fault);
+    visited_[i] = true;
   }
+}
+
+bool PlantedInjector::all_planted_visited() const {
+  return std::all_of(visited_.begin(), visited_.end(),
+                     [](bool v) { return v; });
+}
+
+std::vector<std::size_t> PlantedInjector::unvisited_ordinals() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < planted_.size(); ++i)
+    if (!visited_[i]) out.push_back(planted_[i].first);
+  return out;
 }
 
 std::vector<FaultSite> enumerate_fault_sites(const Circuit& circuit,

@@ -79,8 +79,16 @@ class PlantedInjector final : public FaultInjector {
   void plant(std::size_t ordinal, pauli::PauliString fault);
   void visit(const FaultSite& site, Backend& backend) override;
 
+  /// True iff every planted fault's ordinal was visited by an execution.
+  /// A false return means a plant silently did nothing — typically a stale
+  /// ordinal kept across a circuit edit; callers should treat it as a bug.
+  bool all_planted_visited() const;
+  /// Ordinals of plants that were never visited (diagnostics).
+  std::vector<std::size_t> unvisited_ordinals() const;
+
  private:
   std::vector<std::pair<std::size_t, pauli::PauliString>> planted_;
+  std::vector<bool> visited_;
 };
 
 /// Enumerates all fault sites of `circuit` (runs it once on a throwaway

@@ -1,0 +1,363 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace eqc::json {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw JsonError(what); }
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+
+  char peek() {
+    if (p >= end) fail("unexpected end of JSON input");
+    return *p;
+  }
+
+  void expect(char c) {
+    if (p >= end || *p != c)
+      fail(std::string("expected '") + c + "' in JSON input");
+    ++p;
+  }
+
+  bool consume_literal(const char* lit) {
+    const char* q = p;
+    for (const char* l = lit; *l; ++l, ++q)
+      if (q >= end || *q != *l) return false;
+    p = q;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (p >= end) fail("unterminated JSON string");
+      const char c = *p++;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (p >= end) fail("unterminated escape in JSON string");
+      const char e = *p++;
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (end - p < 4) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the code point (surrogate pairs unsupported; the
+          // library only ever emits ASCII).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape in JSON string");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    bool integral = true;
+    if (p < end && *p == '.') {
+      integral = false;
+      ++p;
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      integral = false;
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    const std::string token(start, p);
+    if (token.empty() || token == "-") fail("malformed JSON number");
+    if (integral) {
+      if (token[0] == '-') {
+        std::int64_t v = 0;
+        const auto res = std::from_chars(token.data(),
+                                         token.data() + token.size(), v);
+        if (res.ec == std::errc() && res.ptr == token.data() + token.size())
+          return Value(v);
+      } else {
+        std::uint64_t v = 0;
+        const auto res = std::from_chars(token.data(),
+                                         token.data() + token.size(), v);
+        if (res.ec == std::errc() && res.ptr == token.data() + token.size())
+          return Value(v);
+      }
+      // fall through to double on overflow
+    }
+    return Value(std::strtod(token.c_str(), nullptr));
+  }
+
+  Value parse_value(int depth) {
+    if (depth > 200) fail("JSON nesting too deep");
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      ++p;
+      Object obj;
+      skip_ws();
+      if (peek() == '}') {
+        ++p;
+        return Value(std::move(obj));
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        obj.emplace_back(std::move(key), parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++p;
+          continue;
+        }
+        expect('}');
+        return Value(std::move(obj));
+      }
+    }
+    if (c == '[') {
+      ++p;
+      Array arr;
+      skip_ws();
+      if (peek() == ']') {
+        ++p;
+        return Value(std::move(arr));
+      }
+      while (true) {
+        arr.push_back(parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++p;
+          continue;
+        }
+        expect(']');
+        return Value(std::move(arr));
+      }
+    }
+    if (c == '"') return Value(parse_string());
+    if (consume_literal("true")) return Value(true);
+    if (consume_literal("false")) return Value(false);
+    if (consume_literal("null")) return Value();
+    return parse_number();
+  }
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::Bool) fail("JSON value is not a bool");
+  return bool_;
+}
+
+std::int64_t Value::as_i64() const {
+  if (type_ == Type::Int) return int_;
+  if (type_ == Type::Uint) {
+    if (uint_ > static_cast<std::uint64_t>(INT64_MAX))
+      fail("JSON integer out of int64 range");
+    return static_cast<std::int64_t>(uint_);
+  }
+  fail("JSON value is not an integer");
+}
+
+std::uint64_t Value::as_u64() const {
+  if (type_ == Type::Uint) return uint_;
+  if (type_ == Type::Int) {
+    if (int_ < 0) fail("JSON integer is negative");
+    return static_cast<std::uint64_t>(int_);
+  }
+  fail("JSON value is not an integer");
+}
+
+double Value::as_double() const {
+  switch (type_) {
+    case Type::Double: return double_;
+    case Type::Int: return static_cast<double>(int_);
+    case Type::Uint: return static_cast<double>(uint_);
+    default: fail("JSON value is not a number");
+  }
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::String) fail("JSON value is not a string");
+  return string_;
+}
+
+const Array& Value::as_array() const {
+  if (type_ != Type::Array) fail("JSON value is not an array");
+  return array_;
+}
+
+Array& Value::as_array() {
+  if (type_ != Type::Array) fail("JSON value is not an array");
+  return array_;
+}
+
+const Object& Value::as_object() const {
+  if (type_ != Type::Object) fail("JSON value is not an object");
+  return object_;
+}
+
+Object& Value::as_object() {
+  if (type_ != Type::Object) fail("JSON value is not an object");
+  return object_;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  if (v == nullptr) fail("missing JSON key: " + key);
+  return *v;
+}
+
+void Value::set(const std::string& key, Value v) {
+  if (type_ == Type::Null) {
+    type_ = Type::Object;
+    object_.clear();
+  }
+  if (type_ != Type::Object) fail("JSON value is not an object");
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+Value Value::parse(const std::string& text) {
+  Parser parser{text.data(), text.data() + text.size()};
+  Value v = parser.parse_value(0);
+  parser.skip_ws();
+  if (parser.p != parser.end) fail("trailing characters after JSON document");
+  return v;
+}
+
+void Value::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Int: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%" PRId64, int_);
+      out += buf;
+      break;
+    }
+    case Type::Uint: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%" PRIu64, uint_);
+      out += buf;
+      break;
+    }
+    case Type::Double: {
+      if (std::isfinite(double_)) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", double_);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no Inf/NaN
+      }
+      break;
+    }
+    case Type::String: dump_string(string_, out); break;
+    case Type::Array: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        array_[i].dump_to(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::Object: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        dump_string(object_[i].first, out);
+        out.push_back(':');
+        object_[i].second.dump_to(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+}  // namespace eqc::json

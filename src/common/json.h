@@ -1,0 +1,96 @@
+// Minimal JSON value type with a parser and a deterministic serializer.
+//
+// Used by the fault-campaign engine for checkpoints, reports and replay
+// artifacts.  Design constraints that rule out an off-the-shelf library:
+//  * object members keep INSERTION order and dump() is byte-deterministic,
+//    so a parallel campaign can be compared bit-for-bit against a serial
+//    one by comparing serialized reports;
+//  * integers up to 64 bits round-trip exactly (site ordinals and trial
+//    counters must not pass through a double);
+//  * no external dependency.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace eqc::json {
+
+/// Thrown by Value::parse on malformed input and by the typed accessors on
+/// a type mismatch.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Value;
+using Array = std::vector<Value>;
+/// Insertion-ordered object representation (deterministic dumps).
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  enum class Type { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+  Value() = default;
+  Value(std::nullptr_t) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}
+  Value(std::int64_t v) : type_(Type::Int), int_(v) {}
+  Value(std::uint64_t v) : type_(Type::Uint), uint_(v) {}
+  Value(int v) : Value(static_cast<std::int64_t>(v)) {}
+  Value(unsigned v) : Value(static_cast<std::uint64_t>(v)) {}
+  Value(double v) : type_(Type::Double), double_(v) {}
+  Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  Value(const char* s) : Value(std::string(s)) {}
+  Value(Array a) : type_(Type::Array), array_(std::move(a)) {}
+  Value(Object o) : type_(Type::Object), object_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const {
+    return type_ == Type::Int || type_ == Type::Uint || type_ == Type::Double;
+  }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool() const;
+  std::int64_t as_i64() const;
+  std::uint64_t as_u64() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(const std::string& key) const;
+  /// Object member lookup; throws JsonError when absent.
+  const Value& at(const std::string& key) const;
+  /// Appends (or replaces) an object member, keeping insertion order.
+  void set(const std::string& key, Value v);
+
+  /// Parses one JSON document (throws JsonError on malformed input).
+  static Value parse(const std::string& text);
+
+  /// Compact, deterministic serialization (no whitespace).
+  std::string dump() const;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace eqc::json

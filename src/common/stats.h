@@ -43,7 +43,15 @@ struct FailureCounter {
     if (failed) ++failures;
   }
   double rate() const { return trials == 0 ? 0.0 : double(failures) / double(trials); }
-  BinomialInterval interval() const { return wilson_interval(failures, trials); }
+  BinomialInterval interval(double z = 1.96) const {
+    return wilson_interval(failures, trials, z);
+  }
+  /// Folds another counter in (shard merging in the campaign engine).
+  FailureCounter& merge(const FailureCounter& other) {
+    trials += other.trials;
+    failures += other.failures;
+    return *this;
+  }
 };
 
 }  // namespace eqc

@@ -155,21 +155,29 @@ void append_agreement_vote(Circuit& circ, const RecoveryAncillas& anc,
 
 void append_recovery(Circuit& circ, const Block& data,
                      const RecoveryAncillas& anc,
-                     const RecoveryOptions& options) {
+                     const RecoveryOptions& options,
+                     RecoveryRoundMarks* marks) {
   const int rounds = options.rounds;
   EQC_EXPECTS(rounds == 1 || rounds == 3);
   EQC_EXPECTS(anc.syn_z.size() >= static_cast<std::size_t>(3 * rounds));
   EQC_EXPECTS(anc.syn_x.size() >= static_cast<std::size_t>(3 * rounds));
   EQC_EXPECTS(anc.onehot.size() == 7);
+  auto mark = [&] {
+    if (marks != nullptr) marks->op_boundaries.push_back(circ.size());
+  };
 
   // --- Syndrome extraction. ------------------------------------------------
   // Z-type checks (X-error detection): direct.
-  for (int r = 0; r < rounds; ++r)
+  for (int r = 0; r < rounds; ++r) {
     extract_syndrome(circ, data, anc, round_bits(anc.syn_z, r));
+    mark();
+  }
   // X-type checks (Z-error detection): in a transversal-H frame.
   Steane::append_logical_h(circ, data);
-  for (int r = 0; r < rounds; ++r)
+  for (int r = 0; r < rounds; ++r) {
     extract_syndrome(circ, data, anc, round_bits(anc.syn_x, r));
+    mark();
+  }
   Steane::append_logical_h(circ, data);
 
   if (options.measurement_free) {
@@ -187,6 +195,7 @@ void append_recovery(Circuit& circ, const Block& data,
                      static_cast<unsigned>(i + 1));
       circ.cnot(anc.onehot[i], data.q[i]);  // X correction
     }
+    mark();
     // X-type syndrome -> Z corrections.
     if (rounds == 1) {
       for (int j = 0; j < 3; ++j) {
@@ -201,6 +210,7 @@ void append_recovery(Circuit& circ, const Block& data,
                      static_cast<unsigned>(i + 1));
       circ.cz(anc.onehot[i], data.q[i]);  // Z correction
     }
+    mark();
     return;
   }
 

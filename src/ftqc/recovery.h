@@ -71,10 +71,24 @@ struct RecoveryOptions {
   bool measurement_free = true;
 };
 
-/// Appends one complete error-recovery step for `data`.
+/// Probe hooks: op-count boundaries recorded while the recovery circuit is
+/// built, so analysis tooling (the campaign engine's invariant tripwires)
+/// can check mid-circuit invariants — e.g. data-block codespace membership
+/// — between syndrome-extraction rounds and attribute the first violation
+/// to a fault-site ordinal.
+struct RecoveryRoundMarks {
+  /// circ.size() after each completed syndrome-extraction round (Z-type
+  /// rounds first, then the X-type rounds), then after each correction
+  /// layer.  An op index below marks[i] belongs to stage i.
+  std::vector<std::size_t> op_boundaries;
+};
+
+/// Appends one complete error-recovery step for `data`.  When `marks` is
+/// non-null, stage boundaries are recorded for mid-circuit probing.
 void append_recovery(circuit::Circuit& circ, const codes::Block& data,
                      const RecoveryAncillas& anc,
-                     const RecoveryOptions& options = {});
+                     const RecoveryOptions& options = {},
+                     RecoveryRoundMarks* marks = nullptr);
 
 RecoveryAncillas allocate_recovery_ancillas(class Layout& layout,
                                             int rounds = 3);

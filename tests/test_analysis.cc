@@ -105,6 +105,50 @@ TEST(FaultEnum, PairEnumerationFindsMalignantPairs) {
   EXPECT_GT(report.pseudo_threshold(), 0.0);
 }
 
+TEST(FaultEnum, PairSamplingDeduplicatesOnASmallUniverse) {
+  // A universe small enough that a random-pair budget overshoots the number
+  // of DISTINCT different-site pairs: the sampler must deduplicate and stop
+  // at the full universe instead of re-testing duplicates.
+  FaultExperiment ex;
+  ex.num_qubits = 2;
+  ex.prep = Circuit(2);
+  ex.gadget = Circuit(2);
+  ex.gadget.h(0).cnot(0, 1);
+  ex.failed = [](circuit::TabBackend&, const circuit::ExecResult&) {
+    return false;
+  };
+
+  const auto faults = enumerate_single_faults(ex);
+  const std::uint64_t n = faults.size();
+  std::uint64_t same_site = 0;
+  for (std::uint64_t i = 0; i < n;) {
+    std::uint64_t j = i;
+    while (j < n && faults[j].ordinal == faults[i].ordinal) ++j;
+    same_site += (j - i) * (j - i - 1) / 2;
+    i = j;
+  }
+  const std::uint64_t total = n * (n - 1) / 2;
+  const std::uint64_t valid = total - same_site;
+  ASSERT_GT(same_site, 0u);  // multi-fault sites exist, so total > valid
+
+  // A budget strictly between `valid` and `total` forces the sampled branch
+  // while still covering every distinct valid pair.
+  const auto report = run_fault_pairs(ex, valid + (total - valid + 1) / 2);
+  EXPECT_EQ(report.pairs_tested, valid);
+  EXPECT_TRUE(report.exhaustive);
+}
+
+TEST(FaultEnum, RunWithFaultsRejectsAnUnvisitedPlant) {
+  // A plant whose ordinal never occurs in the gadget would silently test
+  // the WRONG (weaker) fault set; the executor must refuse instead.
+  auto ex = make_ngate_experiment(false, 3, true);
+  const auto sites = circuit::enumerate_fault_sites(ex.gadget);
+  std::vector<Fault> faults = {
+      Fault{sites.size() + 17,
+            pauli::PauliString::single(ex.num_qubits, 0, pauli::Pauli::X)}};
+  EXPECT_THROW((void)run_with_faults(ex, faults), ContractViolation);
+}
+
 TEST(FaultEnum, PairReportMath) {
   PairReport r;
   r.num_sites = 100;

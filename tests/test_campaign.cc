@@ -1,0 +1,371 @@
+// Tests for the fault-injection campaign engine: determinism under
+// parallelism, checkpoint/resume, counterexample shrinking, replay
+// artifacts, chaos mode, invariant tripwires and the combinatorics
+// underneath.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/campaign.h"
+#include "analysis/fault_enum.h"
+#include "codes/steane.h"
+#include "common/assert.h"
+#include "ftqc/layout.h"
+#include "ftqc/ngate.h"
+#include "ftqc/recovery.h"
+#include "noise/model.h"
+
+namespace eqc::analysis {
+namespace {
+
+using circuit::Circuit;
+using codes::Block;
+using codes::Steane;
+
+// The Fig. 1 N-gate fault experiment (mirrors test_analysis.cc).
+FaultExperiment make_ngate_experiment(bool one, int repetitions,
+                                      bool syndrome_check) {
+  ftqc::Layout layout;
+  const Block source = layout.block();
+  auto anc = ftqc::allocate_ngate_ancillas(layout, repetitions);
+  const auto out = layout.reg(7);
+
+  FaultExperiment ex;
+  ex.num_qubits = layout.total();
+  ex.prep = Circuit(layout.total());
+  Steane::append_encode_zero(ex.prep, source);
+  if (one) Steane::append_logical_x(ex.prep, source);
+  ex.gadget = Circuit(layout.total());
+  ftqc::NGateOptions opt;
+  opt.repetitions = repetitions;
+  opt.syndrome_check = syndrome_check;
+  ftqc::append_ngate(ex.gadget, source, out, anc, opt);
+
+  ex.failed = [out, source, one](circuit::TabBackend& backend,
+                                 const circuit::ExecResult&) {
+    int ones = 0;
+    for (auto q : out)
+      ones += backend.tableau().deterministic_z_value(q) ? 1 : 0;
+    const bool decoded = 2 * ones > static_cast<int>(out.size());
+    if (decoded != one) return true;
+    Rng rng(3);
+    Steane::perfect_correct(backend.tableau(), source, rng);
+    return Steane::logical_z_expectation(backend.tableau(), source) !=
+           (one ? -1.0 : 1.0);
+  };
+  return ex;
+}
+
+// A scratch file that cleans up after itself.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name) {
+    path = ::testing::TempDir() + name;
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+// --- combinatorics ----------------------------------------------------------
+
+TEST(Campaign, BinomialOrMaxMatchesSmallCases) {
+  EXPECT_EQ(binomial_or_max(0, 0), 1u);
+  EXPECT_EQ(binomial_or_max(5, 0), 1u);
+  EXPECT_EQ(binomial_or_max(5, 6), 0u);
+  EXPECT_EQ(binomial_or_max(5, 2), 10u);
+  EXPECT_EQ(binomial_or_max(10, 3), 120u);
+  EXPECT_EQ(binomial_or_max(52, 5), 2598960u);
+  // Symmetric and saturating.
+  EXPECT_EQ(binomial_or_max(60, 30), binomial_or_max(60, 30));
+  EXPECT_EQ(binomial_or_max(1000, 500), UINT64_MAX);
+}
+
+TEST(Campaign, CombinationUnrankIsABijectionInColexOrder) {
+  const std::uint64_t n = 7;
+  const std::size_t k = 3;
+  const std::uint64_t total = binomial_or_max(n, k);
+  std::set<std::vector<std::uint32_t>> seen;
+  std::vector<std::uint32_t> prev;
+  for (std::uint64_t r = 0; r < total; ++r) {
+    const auto combo = combination_unrank(r, n, k);
+    ASSERT_EQ(combo.size(), k);
+    // Strictly ascending members, all in range.
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_LT(combo[i], n);
+      if (i > 0) {
+        EXPECT_LT(combo[i - 1], combo[i]);
+      }
+    }
+    // Colex order: ranks sort by reversed-member lexicographic order.
+    if (!prev.empty()) {
+      std::vector<std::uint32_t> a(prev.rbegin(), prev.rend());
+      std::vector<std::uint32_t> b(combo.rbegin(), combo.rend());
+      EXPECT_LT(a, b);
+    }
+    prev = combo;
+    seen.insert(combo);
+  }
+  EXPECT_EQ(seen.size(), total);  // bijection
+}
+
+// --- determinism under parallelism ------------------------------------------
+
+TEST(Campaign, ParallelReportIsByteIdenticalToSerial) {
+  const auto ex = make_ngate_experiment(true, 3, true);
+  CampaignConfig cfg;
+  cfg.mode = CampaignMode::KFault;
+  cfg.k = 2;
+  cfg.budget = 200;
+  cfg.sample_seed = 7;
+
+  cfg.jobs = 1;
+  const auto serial = run_campaign(ex, cfg);
+  cfg.jobs = 4;
+  const auto parallel = run_campaign(ex, cfg);
+
+  EXPECT_GT(serial.sets_tested, 0u);
+  EXPECT_TRUE(serial.complete);
+  EXPECT_EQ(serial.to_json(), parallel.to_json());
+}
+
+TEST(Campaign, ChaosModeIsDeterministicAcrossJobs) {
+  const auto ex = make_ngate_experiment(true, 3, true);
+  CampaignConfig cfg;
+  cfg.mode = CampaignMode::Chaos;
+  cfg.budget = 150;
+  cfg.chaos_model = noise::NoiseModel::paper_model(0.01);
+  cfg.sample_seed = 21;
+  cfg.shrink = false;  // chaos sets can be large; keep the test fast
+
+  cfg.jobs = 1;
+  const auto serial = run_campaign(ex, cfg);
+  cfg.jobs = 3;
+  const auto parallel = run_campaign(ex, cfg);
+
+  EXPECT_EQ(serial.sets_tested, 150u);
+  EXPECT_EQ(serial.to_json(), parallel.to_json());
+}
+
+// --- checkpoint / resume ----------------------------------------------------
+
+TEST(Campaign, CheckpointKillResumeReachesTheSameReport) {
+  const auto ex = make_ngate_experiment(true, 3, true);
+  CampaignConfig cfg;
+  cfg.mode = CampaignMode::KFault;
+  cfg.k = 2;
+  cfg.budget = 160;
+  cfg.sample_seed = 11;
+  cfg.jobs = 2;
+
+  // Reference: one uninterrupted run (no checkpointing involved).
+  const auto reference = run_campaign(ex, cfg);
+  ASSERT_TRUE(reference.complete);
+
+  // Killed run: stop after 50 items, then resume twice.
+  TempFile ck("campaign_ck.json");
+  cfg.checkpoint_path = ck.path;
+  cfg.checkpoint_every = 16;
+  cfg.max_items_this_run = 50;
+  const auto killed = run_campaign(ex, cfg);
+  EXPECT_FALSE(killed.complete);
+  EXPECT_LE(killed.sets_tested, 50u);
+
+  cfg.resume = true;
+  cfg.max_items_this_run = 60;
+  const auto middle = run_campaign(ex, cfg);
+  EXPECT_FALSE(middle.complete);
+  EXPECT_GT(middle.sets_tested, killed.sets_tested);
+
+  cfg.max_items_this_run = 0;  // run to completion
+  const auto resumed = run_campaign(ex, cfg);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.to_json(), reference.to_json());
+}
+
+TEST(Campaign, ResumeRejectsAMismatchedCheckpoint) {
+  const auto ex = make_ngate_experiment(true, 3, true);
+  CampaignConfig cfg;
+  cfg.k = 2;
+  cfg.budget = 40;
+  cfg.jobs = 1;
+  TempFile ck("campaign_mismatch_ck.json");
+  cfg.checkpoint_path = ck.path;
+  cfg.max_items_this_run = 10;
+  (void)run_campaign(ex, cfg);
+
+  cfg.resume = true;
+  cfg.budget = 80;  // different campaign -> different fingerprint
+  EXPECT_THROW((void)run_campaign(ex, cfg), ContractViolation);
+}
+
+// --- shrinking and replay ---------------------------------------------------
+
+TEST(Campaign, ShrunkMalignantSetsAreOneMinimalAndReplayable) {
+  const auto ex = make_ngate_experiment(true, 3, true);
+  CampaignConfig cfg;
+  cfg.k = 2;
+  cfg.budget = 300;
+  cfg.sample_seed = 5;
+  cfg.jobs = 4;
+  const auto report = run_campaign(ex, cfg);
+  ASSERT_GT(report.malignant, 0u) << "budget too small to find a pair";
+
+  for (const auto& m : report.malignant_sets) {
+    EXPECT_TRUE(m.minimal);
+    // Replays to failure...
+    EXPECT_TRUE(run_with_faults(ex, m.faults));
+    // ...and removing ANY single fault no longer fails (1-minimality).
+    for (std::size_t drop = 0; drop < m.faults.size(); ++drop) {
+      std::vector<Fault> fewer;
+      for (std::size_t i = 0; i < m.faults.size(); ++i)
+        if (i != drop) fewer.push_back(m.faults[i]);
+      if (fewer.empty()) continue;
+      EXPECT_FALSE(run_with_faults(ex, fewer));
+    }
+  }
+}
+
+TEST(Campaign, ReplayArtifactRoundTripsThroughJson) {
+  const auto ex = make_ngate_experiment(true, 3, true);
+  CampaignConfig cfg;
+  cfg.k = 2;
+  cfg.budget = 300;
+  cfg.sample_seed = 5;
+  cfg.jobs = 4;
+  const auto report = run_campaign(ex, cfg);
+  ASSERT_GT(report.malignant, 0u);
+
+  const auto sets = parse_fault_sets(report.to_json(), ex.num_qubits);
+  ASSERT_EQ(sets.size(), report.malignant_sets.size());
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    ASSERT_EQ(sets[i].size(), report.malignant_sets[i].faults.size());
+    for (std::size_t j = 0; j < sets[i].size(); ++j) {
+      EXPECT_EQ(sets[i][j].ordinal, report.malignant_sets[i].faults[j].ordinal);
+      EXPECT_EQ(sets[i][j].error.to_string(),
+                report.malignant_sets[i].faults[j].error.to_string());
+    }
+    EXPECT_TRUE(run_with_faults(ex, sets[i]));
+  }
+}
+
+// --- exhaustive campaigns ---------------------------------------------------
+
+TEST(Campaign, ExhaustiveSingleFaultCampaignMatchesRunSingleFaults) {
+  const auto ex = make_ngate_experiment(true, 1, true);  // NOT fault tolerant
+  const auto single = run_single_faults(ex);
+  ASSERT_GT(single.failures, 0u);
+
+  CampaignConfig cfg;
+  cfg.k = 1;
+  cfg.budget = 0;  // exhaustive
+  cfg.jobs = 4;
+  cfg.shrink = false;
+  const auto report = run_campaign(ex, cfg);
+  EXPECT_TRUE(report.exhaustive);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.sets_tested, single.faults_tested);
+  EXPECT_EQ(report.malignant, single.failures);
+}
+
+TEST(Campaign, ExhaustivePairCampaignSkipsSameSiteCollisions) {
+  // A tiny universe where C(n, 2) is fully enumerable: the campaign must
+  // test exactly the pairs on DISTINCT sites (same-site ranks skipped).
+  FaultExperiment ex;
+  ex.num_qubits = 3;
+  ex.prep = Circuit(3);
+  ex.gadget = Circuit(3);
+  ex.gadget.h(0).cnot(0, 1).cnot(1, 2).h(2);
+  ex.failed = [](circuit::TabBackend&, const circuit::ExecResult&) {
+    return false;
+  };
+
+  const auto faults = enumerate_single_faults(ex);
+  const std::uint64_t n = faults.size();
+  std::uint64_t same_site = 0;
+  for (std::uint64_t i = 0; i < n;) {
+    std::uint64_t j = i;
+    while (j < n && faults[j].ordinal == faults[i].ordinal) ++j;
+    const std::uint64_t m = j - i;
+    same_site += m * (m - 1) / 2;
+    i = j;
+  }
+  const std::uint64_t valid = n * (n - 1) / 2 - same_site;
+
+  CampaignConfig cfg;
+  cfg.k = 2;
+  cfg.budget = 0;  // exhaustive over C(n, 2) ranks
+  cfg.jobs = 2;
+  cfg.shrink = false;
+  const auto report = run_campaign(ex, cfg);
+  EXPECT_TRUE(report.exhaustive);
+  EXPECT_EQ(report.sets_tested, valid);  // same-site pairs skipped, not counted
+}
+
+// --- tripwires --------------------------------------------------------------
+
+TEST(Campaign, TripwireAttributesTheFirstCodespaceViolation) {
+  ftqc::Layout layout;
+  const Block source = layout.block();
+  auto ex = make_ngate_experiment(true, 3, true);
+
+  TripwireOptions tripwire;
+  tripwire.violated = [source](circuit::TabBackend& b) {
+    return !Steane::block_in_codespace(b.tableau(), source);
+  };
+  tripwire.probe_after = calibrate_probe_sites(ex, tripwire.violated);
+  ASSERT_FALSE(tripwire.probe_after.empty());
+
+  // Fault-free, a calibrated tripwire never trips.
+  {
+    const auto clean = run_with_faults_probed(ex, {}, tripwire);
+    EXPECT_FALSE(clean.failed);
+    EXPECT_FALSE(clean.tripped);
+  }
+
+  // Find a malignant pair, then replay it under the tripwire.
+  CampaignConfig cfg;
+  cfg.k = 2;
+  cfg.budget = 300;
+  cfg.sample_seed = 5;
+  cfg.jobs = 4;
+  cfg.tripwire = tripwire;
+  const auto report = run_campaign(ex, cfg);
+  ASSERT_GT(report.malignant, 0u);
+
+  std::size_t tripped = 0;
+  for (const auto& m : report.malignant_sets) {
+    if (!m.tripped) continue;
+    ++tripped;
+    // The trip site is a calibrated probe point, at or after the first
+    // injected fault (the prefix before it is identical to the fault-free
+    // run, which holds the invariant at every probe point).
+    EXPECT_TRUE(std::binary_search(tripwire.probe_after.begin(),
+                                   tripwire.probe_after.end(),
+                                   m.trip_ordinal));
+    std::size_t first_fault = m.faults.front().ordinal;
+    for (const auto& f : m.faults)
+      first_fault = std::min(first_fault, f.ordinal);
+    EXPECT_GE(m.trip_ordinal, first_fault);
+  }
+  EXPECT_GT(tripped, 0u) << "no malignant set tripped the codespace probe";
+}
+
+// --- config validation ------------------------------------------------------
+
+TEST(Campaign, RejectsMisconfiguredCampaigns) {
+  const auto ex = make_ngate_experiment(true, 3, true);
+  CampaignConfig cfg;
+  cfg.k = 0;
+  EXPECT_THROW((void)run_campaign(ex, cfg), ContractViolation);
+
+  CampaignConfig chaos;
+  chaos.mode = CampaignMode::Chaos;
+  chaos.budget = 0;  // chaos needs a trial count
+  EXPECT_THROW((void)run_campaign(ex, chaos), ContractViolation);
+}
+
+}  // namespace
+}  // namespace eqc::analysis

@@ -247,6 +247,23 @@ TEST(FaultSites, PlantedFaultMustRespectSiteQubits) {
   }
 }
 
+TEST(FaultSites, PlantedInjectorTracksUnvisitedPlants) {
+  Circuit c(2);
+  c.h(0).h(1);
+  const auto sites = enumerate_fault_sites(c);
+  PlantedInjector inj;
+  inj.plant(sites[0].ordinal, PauliString::single(2, sites[0].qubits[0],
+                                                  Pauli::X));
+  const std::size_t bogus = sites.size() + 99;  // never enumerated
+  inj.plant(bogus, PauliString::single(2, 0, Pauli::Z));
+  EXPECT_FALSE(inj.all_planted_visited());
+  TabBackend b(2, Rng(1));
+  execute(c, b, &inj);
+  EXPECT_FALSE(inj.all_planted_visited());
+  ASSERT_EQ(inj.unvisited_ordinals().size(), 1u);
+  EXPECT_EQ(inj.unvisited_ordinals()[0], bogus);
+}
+
 TEST(FaultSites, PlantedPairBothApplied) {
   Circuit c(2);
   c.h(0).h(0).h(1).h(1);  // H H = identity; planted X errors persist

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/assert.h"
+#include "common/json.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -180,6 +181,70 @@ TEST(Contracts, MacrosThrow) {
   EXPECT_THROW(EQC_ENSURES(false), ContractViolation);
   EXPECT_THROW(EQC_CHECK(false), ContractViolation);
   EXPECT_NO_THROW(EQC_EXPECTS(true));
+}
+
+TEST(Json, ParseDumpRoundTripIsByteStable) {
+  const std::string text =
+      R"({"a":1,"b":[true,false,null],"c":{"n":-7,"s":"hi\"there"},"d":0.5})";
+  const auto v = json::Value::parse(text);
+  EXPECT_EQ(v.dump(), text);
+  // dump(parse(dump(x))) is a fixed point.
+  EXPECT_EQ(json::Value::parse(v.dump()).dump(), text);
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  json::Value obj{json::Object{}};
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("zebra", 3);  // replace in place, order unchanged
+  EXPECT_EQ(obj.dump(), R"({"zebra":3,"alpha":2})");
+  EXPECT_EQ(obj.at("zebra").as_i64(), 3);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW(obj.at("missing"), json::JsonError);
+}
+
+TEST(Json, SixtyFourBitIntegersRoundTripExactly) {
+  // Values a double cannot represent must survive parse/dump unchanged.
+  const std::uint64_t big_u = 18446744073709551615ull;  // 2^64 - 1
+  const std::int64_t big_i = -9223372036854775807ll - 1;  // -2^63
+  json::Value obj{json::Object{}};
+  obj.set("u", big_u);
+  obj.set("i", big_i);
+  const auto back = json::Value::parse(obj.dump());
+  EXPECT_EQ(back.at("u").as_u64(), big_u);
+  EXPECT_EQ(back.at("i").as_i64(), big_i);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::Value::parse(""), json::JsonError);
+  EXPECT_THROW(json::Value::parse("{"), json::JsonError);
+  EXPECT_THROW(json::Value::parse("[1,]"), json::JsonError);
+  EXPECT_THROW(json::Value::parse("{\"a\":1} trailing"), json::JsonError);
+  EXPECT_THROW(json::Value::parse("nul"), json::JsonError);
+  EXPECT_THROW(json::Value::parse("'single'"), json::JsonError);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  json::Value v{std::string("line\nbreak\ttab \x01 quote\" back\\")};
+  const auto back = json::Value::parse(v.dump());
+  EXPECT_EQ(back.as_string(), v.as_string());
+  // \uXXXX escapes decode to UTF-8.
+  EXPECT_EQ(json::Value::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(Stats, FailureCounterMergeAndInterval) {
+  FailureCounter a;
+  for (int i = 0; i < 60; ++i) a.add(i < 15);
+  FailureCounter b;
+  for (int i = 0; i < 40; ++i) b.add(i < 10);
+  a.merge(b);
+  EXPECT_EQ(a.trials, 100u);
+  EXPECT_EQ(a.failures, 25u);
+  const auto iv = a.interval();
+  EXPECT_LT(iv.low, 0.25);
+  EXPECT_GT(iv.high, 0.25);
+  EXPECT_GT(iv.low, 0.15);
+  EXPECT_LT(iv.high, 0.37);
 }
 
 }  // namespace

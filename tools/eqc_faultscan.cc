@@ -9,7 +9,7 @@
 //   recovery   the Sec. 5 measurement-free error recovery
 //   recovery-measured   the measurement-based recovery baseline
 //
-// Options:
+// Scan options:
 //   --reps N          N-gate repetitions (1, 3, 5; default 3)
 //   --no-syndrome     disable the N-gate Hamming check (ablation)
 //   --correlated      use the correlated (FullDepolarizing) fault model
@@ -17,15 +17,41 @@
 //   --mc P TRIALS     Monte-Carlo failure rate at error probability P
 //   --seed S          RNG seed (default 1)
 //
+// Campaign options (the fault-injection campaign engine):
+//   --campaign K      k-fault campaign over fault sets of size K
+//   --budget B        max fault sets tested (default 4000; 0 = exhaustive)
+//   --chaos P TRIALS  chaos campaign: sample fault sets from the paper
+//                     noise model at error probability P
+//   --jobs N          worker threads (never changes the report)
+//   --checkpoint FILE periodic JSON checkpoint (resume with --resume)
+//   --resume          continue from --checkpoint FILE if it exists
+//   --shrink / --no-shrink
+//                     delta-debug malignant sets to 1-minimal (default on)
+//   --tripwire        probe data-block codespace membership mid-circuit and
+//                     attribute the first trip to a site ordinal
+//   --json OUT        write the report (incl. replay artifact) to OUT
+//   --replay FILE     re-execute every malignant set recorded in FILE and
+//                     verify each still fails (exit 0 iff all replay)
+//
+// Exit status: nonzero when the single-fault FT check fails (so campaigns
+// can gate CI), or when --replay finds a set that no longer fails.
+//
 // Examples:
 //   eqc_faultscan ngate
-//   eqc_faultscan ngate --reps 5 --correlated
-//   eqc_faultscan recovery --pairs 5000 --mc 1e-4 2000
+//   eqc_faultscan ngate --campaign 2 --budget 4000 --jobs 4 --json out.json
+//   eqc_faultscan recovery --campaign 2 --checkpoint ck.json --resume
+//   eqc_faultscan ngate --chaos 1e-3 5000 --tripwire
+//   eqc_faultscan ngate --replay out.json
+#include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "analysis/campaign.h"
 #include "analysis/fault_enum.h"
 #include "circuit/schedule.h"
 #include "codes/steane.h"
@@ -50,13 +76,29 @@ struct Options {
   double mc_p = 0.0;
   std::uint64_t mc_trials = 0;
   std::uint64_t seed = 1;
+  // campaign
+  std::size_t campaign_k = 0;
+  std::uint64_t budget = 4000;
+  double chaos_p = 0.0;
+  std::uint64_t chaos_trials = 0;
+  unsigned jobs = 1;
+  std::string checkpoint;
+  bool resume = false;
+  bool shrink = true;
+  bool tripwire = false;
+  std::string json_out;
+  std::string replay;
 };
 
 [[noreturn]] void usage() {
-  std::fprintf(stderr,
-               "usage: eqc_faultscan <ngate|recovery|recovery-measured>\n"
-               "       [--reps N] [--no-syndrome] [--correlated]\n"
-               "       [--pairs BUDGET] [--mc P TRIALS] [--seed S]\n");
+  std::fprintf(
+      stderr,
+      "usage: eqc_faultscan <ngate|recovery|recovery-measured>\n"
+      "       [--reps N] [--no-syndrome] [--correlated]\n"
+      "       [--pairs BUDGET] [--mc P TRIALS] [--seed S]\n"
+      "       [--campaign K] [--budget B] [--chaos P TRIALS] [--jobs N]\n"
+      "       [--checkpoint FILE] [--resume] [--shrink|--no-shrink]\n"
+      "       [--tripwire] [--json OUT] [--replay FILE]\n");
   std::exit(2);
 }
 
@@ -86,6 +128,29 @@ Options parse(int argc, char** argv) {
       opt.mc_trials = std::strtoull(next("--mc trials"), nullptr, 10);
     } else if (arg == "--seed")
       opt.seed = std::strtoull(next("--seed"), nullptr, 10);
+    else if (arg == "--campaign")
+      opt.campaign_k = std::strtoull(next("--campaign"), nullptr, 10);
+    else if (arg == "--budget")
+      opt.budget = std::strtoull(next("--budget"), nullptr, 10);
+    else if (arg == "--chaos") {
+      opt.chaos_p = std::atof(next("--chaos"));
+      opt.chaos_trials = std::strtoull(next("--chaos trials"), nullptr, 10);
+    } else if (arg == "--jobs")
+      opt.jobs = static_cast<unsigned>(std::atoi(next("--jobs")));
+    else if (arg == "--checkpoint")
+      opt.checkpoint = next("--checkpoint");
+    else if (arg == "--resume")
+      opt.resume = true;
+    else if (arg == "--shrink")
+      opt.shrink = true;
+    else if (arg == "--no-shrink")
+      opt.shrink = false;
+    else if (arg == "--tripwire")
+      opt.tripwire = true;
+    else if (arg == "--json")
+      opt.json_out = next("--json");
+    else if (arg == "--replay")
+      opt.replay = next("--replay");
     else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage();
@@ -94,13 +159,20 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
-analysis::FaultExperiment build_ngate(const Options& opt) {
+struct BuiltExperiment {
+  analysis::FaultExperiment ex;
+  Block main_block;                      ///< data/source block for tripwires
+  std::vector<std::size_t> probe_after;  ///< empty = probe every site
+};
+
+BuiltExperiment build_ngate(const Options& opt) {
   ftqc::Layout layout;
   const Block source = layout.block();
   auto anc = ftqc::allocate_ngate_ancillas(layout, opt.reps);
   const auto out = layout.reg(7);
 
-  analysis::FaultExperiment ex;
+  BuiltExperiment built;
+  analysis::FaultExperiment& ex = built.ex;
   ex.num_qubits = layout.total();
   ex.prep = circuit::Circuit(layout.total());
   Steane::append_encode_zero(ex.prep, source);
@@ -120,46 +192,129 @@ analysis::FaultExperiment build_ngate(const Options& opt) {
     return Steane::logical_z_expectation(b.tableau(), source) != -1.0;
   };
   ex.seed = opt.seed;
-  return ex;
+  built.main_block = source;
+  return built;
 }
 
-analysis::FaultExperiment build_recovery(const Options& opt,
-                                         bool measurement_free) {
+BuiltExperiment build_recovery(const Options& opt, bool measurement_free) {
   ftqc::Layout layout;
   const Block data = layout.block();
   auto anc = ftqc::allocate_recovery_ancillas(layout);
-  analysis::FaultExperiment ex;
+  BuiltExperiment built;
+  analysis::FaultExperiment& ex = built.ex;
   ex.num_qubits = layout.total();
   ex.prep = circuit::Circuit(layout.total());
   Steane::append_encode_zero(ex.prep, data);
   ex.gadget = circuit::Circuit(layout.total());
   ftqc::RecoveryOptions ropt;
   ropt.measurement_free = measurement_free;
-  ftqc::append_recovery(ex.gadget, data, anc, ropt);
+  ftqc::RecoveryRoundMarks marks;
+  ftqc::append_recovery(ex.gadget, data, anc, ropt, &marks);
   ex.failed = [data](circuit::TabBackend& b, const circuit::ExecResult&) {
     Rng rng(5);
     Steane::perfect_correct(b.tableau(), data, rng);
     return Steane::logical_z_expectation(b.tableau(), data) != 1.0;
   };
   ex.seed = opt.seed;
-  return ex;
+  built.main_block = data;
+  // Probe between syndrome rounds / after correction layers only: the
+  // recovery rounds are where codespace membership is the meaningful
+  // invariant ("is the data block still a codeword between rounds?").
+  built.probe_after = analysis::probe_ordinals_for_op_boundaries(
+      ex.gadget, marks.op_boundaries);
+  return built;
 }
+
+int run_replay(const BuiltExperiment& built, const Options& opt) {
+  std::ifstream in(opt.replay, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read replay artifact: %s\n",
+                 opt.replay.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto sets =
+      analysis::parse_fault_sets(ss.str(), built.ex.num_qubits);
+  std::printf("replaying %zu malignant fault set(s) from %s...\n",
+              sets.size(), opt.replay.c_str());
+  std::size_t still_failing = 0;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    const bool fails = analysis::run_with_faults(built.ex, sets[i]);
+    if (fails) ++still_failing;
+    std::printf("  set %zu (%zu fault%s): %s\n", i, sets[i].size(),
+                sets[i].size() == 1 ? "" : "s",
+                fails ? "fails (reproduced)" : "NO LONGER FAILS");
+  }
+  std::printf("replay: %zu/%zu reproduced\n", still_failing, sets.size());
+  return still_failing == sets.size() ? 0 : 1;
+}
+
+void print_campaign_report(const analysis::CampaignReport& report) {
+  const auto iv = report.malignant_interval();
+  std::printf("  %llu sets tested (%s%s), %llu malignant (%.4f%%  "
+              "[wilson 95%%: %.4f%%, %.4f%%])\n",
+              static_cast<unsigned long long>(report.sets_tested),
+              report.exhaustive ? "exhaustive" : "sampled",
+              report.complete ? "" : ", INCOMPLETE",
+              static_cast<unsigned long long>(report.malignant),
+              100.0 * report.malignant_fraction(), 100.0 * iv.low,
+              100.0 * iv.high);
+  if (report.mode == analysis::CampaignMode::KFault && report.k >= 2) {
+    std::printf("  P_fail ~ %.1f p^%zu, pseudo-threshold p* ~ %.3e\n",
+                report.p_k_coefficient(), report.k,
+                report.pseudo_threshold());
+  }
+  const std::size_t show = std::min<std::size_t>(report.malignant_sets.size(), 3);
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto& m = report.malignant_sets[i];
+    std::printf("  counterexample #%zu (item %llu%s): ordinals", i,
+                static_cast<unsigned long long>(m.index),
+                m.minimal ? ", minimal" : "");
+    for (const auto& f : m.faults)
+      std::printf(" %zu", f.ordinal);
+    if (m.tripped)
+      std::printf("  [tripwire: first codespace violation at ordinal %zu]",
+                  m.trip_ordinal);
+    std::printf("\n");
+  }
+  if (report.malignant_sets.size() > show)
+    std::printf("  ... %zu more counterexample(s) in the JSON report\n",
+                report.malignant_sets.size() - show);
+}
+
+int run(const Options& opt);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  try {
+    return run(opt);
+  } catch (const std::exception& e) {
+    // Checkpoint fingerprint mismatches, malformed replay artifacts and
+    // contract violations all land here: report and exit, don't abort.
+    std::fprintf(stderr, "eqc_faultscan: error: %s\n", e.what());
+    return 2;
+  }
+}
 
-  analysis::FaultExperiment ex;
+namespace {
+
+int run(const Options& opt) {
+  BuiltExperiment built;
   if (opt.gadget == "ngate")
-    ex = build_ngate(opt);
+    built = build_ngate(opt);
   else if (opt.gadget == "recovery")
-    ex = build_recovery(opt, true);
+    built = build_recovery(opt, true);
   else if (opt.gadget == "recovery-measured")
-    ex = build_recovery(opt, false);
+    built = build_recovery(opt, false);
   else
     usage();
-  if (opt.correlated) ex.model = analysis::FaultModel::FullDepolarizing;
+  if (opt.correlated) built.ex.model = analysis::FaultModel::FullDepolarizing;
+  analysis::FaultExperiment& ex = built.ex;
+
+  if (!opt.replay.empty()) return run_replay(built, opt);
 
   const auto sched = circuit::schedule(ex.gadget);
   const auto sites = circuit::enumerate_fault_sites(ex.gadget);
@@ -195,6 +350,59 @@ int main(int argc, char** argv) {
                 pairs.p_squared_coefficient(), pairs.pseudo_threshold());
   }
 
+  if (opt.campaign_k > 0 || opt.chaos_trials > 0) {
+    analysis::CampaignConfig cfg;
+    if (opt.chaos_trials > 0) {
+      cfg.mode = analysis::CampaignMode::Chaos;
+      cfg.budget = opt.chaos_trials;
+      cfg.chaos_model = noise::NoiseModel::paper_model(opt.chaos_p);
+      std::printf("\nchaos campaign (paper model, p = %g, %llu trials, "
+                  "%u jobs)...\n",
+                  opt.chaos_p,
+                  static_cast<unsigned long long>(opt.chaos_trials),
+                  opt.jobs);
+    } else {
+      cfg.mode = analysis::CampaignMode::KFault;
+      cfg.k = opt.campaign_k;
+      cfg.budget = opt.budget;
+      std::printf("\n%zu-fault campaign (budget %llu, %u jobs)...\n",
+                  opt.campaign_k,
+                  static_cast<unsigned long long>(opt.budget), opt.jobs);
+    }
+    cfg.jobs = opt.jobs;
+    cfg.sample_seed = 99;
+    cfg.shrink = opt.shrink;
+    cfg.checkpoint_path = opt.checkpoint;
+    cfg.resume = opt.resume;
+    if (opt.tripwire) {
+      const Block block = built.main_block;
+      cfg.tripwire.violated = [block](circuit::TabBackend& b) {
+        return !Steane::block_in_codespace(b.tableau(), block);
+      };
+      // Restrict probes to sites where the invariant holds fault-free (a
+      // data block mid-gadget is legitimately entangled with ancillas);
+      // within those, prefer the gadget's own round boundaries.
+      const auto valid = analysis::calibrate_probe_sites(ex, cfg.tripwire.violated);
+      if (built.probe_after.empty()) {
+        cfg.tripwire.probe_after = valid;
+      } else {
+        std::set_intersection(built.probe_after.begin(),
+                              built.probe_after.end(), valid.begin(),
+                              valid.end(),
+                              std::back_inserter(cfg.tripwire.probe_after));
+      }
+      std::printf("  tripwire armed at %zu of %zu fault sites\n",
+                  cfg.tripwire.probe_after.size(), sites.size());
+    }
+    const auto report = analysis::run_campaign(ex, cfg);
+    print_campaign_report(report);
+    if (!opt.json_out.empty()) {
+      std::ofstream out(opt.json_out, std::ios::binary | std::ios::trunc);
+      out << report.to_json();
+      std::printf("  report written to %s\n", opt.json_out.c_str());
+    }
+  }
+
   if (opt.mc_trials > 0) {
     std::printf("\nMonte-Carlo at p = %g (%llu trials)...\n", opt.mc_p,
                 static_cast<unsigned long long>(opt.mc_trials));
@@ -211,5 +419,9 @@ int main(int argc, char** argv) {
     std::printf("  failure rate %.5f  [wilson 95%%: %.5f, %.5f]\n",
                 counter.rate(), iv.low, iv.high);
   }
+  // Nonzero exit when the single-fault FT property fails: `eqc_faultscan
+  // <gadget> && ...` gates CI on fault tolerance.
   return single.failures == 0 ? 0 : 1;
 }
+
+}  // namespace
