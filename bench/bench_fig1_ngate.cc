@@ -71,8 +71,11 @@ struct NGateBench {
   }
 
   FailureCounter monte_carlo(const noise::NoiseModel& model,
-                             std::uint64_t trials, std::uint64_t seed) const {
+                             std::uint64_t trials, std::uint64_t seed,
+                             unsigned jobs) const {
     const auto ex = experiment();
+    // Everything the trial touches is trial-local, so the closure is safe
+    // to run on the driver's worker threads.
     return noise::run_trials(
         trials, seed, [&](Rng& rng) {
           circuit::TabBackend backend(ex.num_qubits, rng.split());
@@ -81,13 +84,21 @@ struct NGateBench {
           const auto result =
               circuit::execute(ex.gadget, backend, &injector);
           return ex.failed(backend, result);
-        });
+        },
+        jobs);
   }
 };
 
+std::string p_key(const char* prefix, double p) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s_p%g", prefix, p);
+  return std::string(buf);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("fig1_ngate", argc, argv);
   bench::banner("E1 / Figure 1: the N gate (measurement-free logical copy)");
   int failures = 0;
 
@@ -142,6 +153,10 @@ int main() {
                 100.0 * report.malignant_fraction());
     std::printf("  P_fail ~ %.1f p^2  =>  pseudo-threshold p* ~ %.2e\n",
                 report.p_squared_coefficient(), report.pseudo_threshold());
+    rep.metric("pair_p2_coefficient",
+               json::Value(report.p_squared_coefficient()));
+    rep.metric("pair_pseudo_threshold",
+               json::Value(report.pseudo_threshold()));
     failures += bench::verdict(report.malignant > 0 &&
                                    report.pseudo_threshold() < 1.0,
                                "two faults suffice; threshold finite");
@@ -151,18 +166,22 @@ int main() {
   {
     const std::vector<double> ps = {3e-4, 1e-3, 3e-3};
     const std::uint64_t trials = bench::scaled(12000);
+    const bench::WallTimer timer;
     std::printf("  %-9s %-27s %-27s %-27s\n", "p", "FT (3,synd)",
                 "no-syndrome", "1 repetition");
     std::vector<double> ft_rates, nos_rates, rep1_rates;
     for (double p : ps) {
       NGateBench ft(true, 3, true), nos(true, 3, false), rep1(true, 1, true);
       const auto model = noise::NoiseModel::paper_model(p);
-      const auto c_ft = ft.monte_carlo(model, trials, 42);
-      const auto c_nos = nos.monte_carlo(model, trials, 43);
-      const auto c_rep1 = rep1.monte_carlo(model, trials, 44);
+      const auto c_ft = ft.monte_carlo(model, trials, 42, rep.jobs());
+      const auto c_nos = nos.monte_carlo(model, trials, 43, rep.jobs());
+      const auto c_rep1 = rep1.monte_carlo(model, trials, 44, rep.jobs());
       ft_rates.push_back(c_ft.rate());
       nos_rates.push_back(c_nos.rate());
       rep1_rates.push_back(c_rep1.rate());
+      rep.counter(p_key("ft", p), c_ft);
+      rep.counter(p_key("no_syndrome", p), c_nos);
+      rep.counter(p_key("rep1", p), c_rep1);
       std::printf("  %-9.0e %-27s %-27s %-27s\n", p,
                   bench::rate_ci(c_ft).c_str(), bench::rate_ci(c_nos).c_str(),
                   bench::rate_ci(c_rep1).c_str());
@@ -172,6 +191,9 @@ int main() {
     std::printf("  log-log slope: FT %.2f (expect ~2), no-syndrome %.2f "
                 "(expect ~1)\n",
                 slope_ft, slope_nos);
+    rep.metric("mc_sweep_wall_ms", json::Value(timer.ms()));
+    rep.metric("slope_ft", json::Value(slope_ft));
+    rep.metric("slope_no_syndrome", json::Value(slope_nos));
     failures += bench::verdict(slope_ft > 1.5, "FT variant scales ~ p^2");
     failures += bench::verdict(slope_nos < slope_ft,
                                "ablation degrades the scaling");
@@ -185,9 +207,10 @@ int main() {
     std::printf("  %-9s %-27s\n", "p", "FT (3,synd)");
     for (double p : ps) {
       NGateBench ft(true, 3, true);
-      const auto c =
-          ft.monte_carlo(noise::NoiseModel::depolarizing(p), trials, 52);
+      const auto c = ft.monte_carlo(noise::NoiseModel::depolarizing(p),
+                                    trials, 52, rep.jobs());
       rates.push_back(c.rate());
+      rep.counter(p_key("correlated_ft", p), c);
       std::printf("  %-9.0e %-27s\n", p, bench::rate_ci(c).c_str());
     }
     std::printf("  log-log slope: %.2f — correlated single faults (the\n"
@@ -195,6 +218,5 @@ int main() {
                 bench::loglog_slope(ps, rates));
   }
 
-  std::printf("\nE1 overall: %s\n", failures == 0 ? "PASS" : "FAIL");
-  return failures == 0 ? 0 : 1;
+  return rep.finish(failures);
 }

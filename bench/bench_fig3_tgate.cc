@@ -24,6 +24,7 @@
 #include "ftqc/ft_tgate.h"
 #include "ftqc/layout.h"
 #include "noise/model.h"
+#include "noise/monte_carlo.h"
 
 using namespace eqc;
 using codes::Block;
@@ -75,7 +76,8 @@ struct TBench {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("fig3_tgate", argc, argv);
   bench::banner("E3 / Figure 3: measurement-free FT T gate");
   int failures = 0;
 
@@ -146,46 +148,66 @@ int main() {
     }
     std::printf("  %-9s %-22s %-22s\n", "p", "meas-free infidelity",
                 "measured infidelity");
+    // One state-vector trial of the measurement-free (full FT) or measured
+    // arm.  Every object is trial-local, so the driver may run trials on
+    // worker threads; the per-trial rng is counter-split from the seed, so
+    // the reported means are identical for any --jobs value.
+    const auto mf_trial = [&](double p, std::uint64_t, Rng& rng) {
+      TBench b(3, true);
+      circuit::Circuit c(b.layout.total());
+      ftqc::append_ft_t_gadget(c, b.regs, b.options);
+      circuit::Circuit verify(b.layout.total());
+      const auto ec_anc = b.regs.n_anc.copies[0];
+      ftqc::append_measured_verification_ec(verify, b.regs.data, ec_anc);
+      circuit::SvBackend backend(b.initial_state(kInv, kInv), rng.split());
+      noise::StochasticInjector inj(noise::NoiseModel::paper_model(p),
+                                    rng.split());
+      circuit::execute(c, backend, &inj);
+      circuit::execute(verify, backend);
+      return 1.0 - b.output_fidelity(backend, kInv, kInv);
+    };
+    const auto mb_trial = [&](double p, std::uint64_t, Rng& rng) {
+      TBench b(1, false);
+      circuit::Circuit c(b.layout.total());
+      ftqc::append_measured_t_gadget(c, b.regs.data, b.regs.special);
+      circuit::Circuit verify(b.layout.total());
+      ftqc::append_measured_verification_ec(verify, b.regs.data,
+                                            b.regs.n_anc.copies[0]);
+      circuit::SvBackend backend(b.initial_state(kInv, kInv), rng.split());
+      noise::StochasticInjector inj(noise::NoiseModel::paper_model(p),
+                                    rng.split());
+      circuit::execute(c, backend, &inj);
+      circuit::execute(verify, backend);
+      return 1.0 - b.output_fidelity(backend, kInv, kInv);
+    };
+    const bench::WallTimer timer;
     double mf_low = 1.0;
-    for (double p : ps) {
+    for (std::size_t pi = 0; pi < ps.size(); ++pi) {
+      const double p = ps[pi];
+      const std::uint64_t seed = 91 + 2 * pi;
+      const auto mf_vals = noise::run_trial_values(
+          trials, seed,
+          [&](std::uint64_t t, Rng& rng) { return mf_trial(p, t, rng); },
+          rep.jobs());
+      const auto mb_vals = noise::run_trial_values(
+          trials, seed + 1,
+          [&](std::uint64_t t, Rng& rng) { return mb_trial(p, t, rng); },
+          rep.jobs());
+      // Fold in index order so the summary statistics are byte-identical
+      // to a serial run regardless of worker count.
       RunningStats mf_stats, mb_stats;
-      Rng rng(91);
-      for (std::uint64_t t = 0; t < trials; ++t) {
-        {
-          TBench b(3, true);
-          circuit::Circuit c(b.layout.total());
-          ftqc::append_ft_t_gadget(c, b.regs, b.options);
-          circuit::Circuit verify(b.layout.total());
-          const auto ec_anc = b.regs.n_anc.copies[0];
-          ftqc::append_measured_verification_ec(verify, b.regs.data, ec_anc);
-          circuit::SvBackend backend(b.initial_state(kInv, kInv),
-                                     rng.split());
-          noise::StochasticInjector inj(noise::NoiseModel::paper_model(p),
-                                        rng.split());
-          circuit::execute(c, backend, &inj);
-          circuit::execute(verify, backend);
-          mf_stats.add(1.0 - b.output_fidelity(backend, kInv, kInv));
-        }
-        {
-          TBench b(1, false);
-          circuit::Circuit c(b.layout.total());
-          ftqc::append_measured_t_gadget(c, b.regs.data, b.regs.special);
-          circuit::Circuit verify(b.layout.total());
-          ftqc::append_measured_verification_ec(verify, b.regs.data,
-                                                b.regs.n_anc.copies[0]);
-          circuit::SvBackend backend(b.initial_state(kInv, kInv),
-                                     rng.split());
-          noise::StochasticInjector inj(noise::NoiseModel::paper_model(p),
-                                        rng.split());
-          circuit::execute(c, backend, &inj);
-          circuit::execute(verify, backend);
-          mb_stats.add(1.0 - b.output_fidelity(backend, kInv, kInv));
-        }
-      }
-      if (p == ps.front()) mf_low = mf_stats.mean();
+      for (double v : mf_vals) mf_stats.add(v);
+      for (double v : mb_vals) mb_stats.add(v);
+      if (pi == 0) mf_low = mf_stats.mean();
+      char key[48];
+      std::snprintf(key, sizeof key, "meas_free_infid_p%g", p);
+      rep.metric(key, json::Value(mf_stats.mean()));
+      std::snprintf(key, sizeof key, "measured_infid_p%g", p);
+      rep.metric(key, json::Value(mb_stats.mean()));
       std::printf("  %-9.0e %-22.5f %-22.5f\n", p, mf_stats.mean(),
                   mb_stats.mean());
     }
+    rep.metric("mc_wall_ms", json::Value(timer.ms()));
     failures += bench::verdict(
         mf_low < 0.05,
         "below threshold the measurement-free gadget's infidelity is small "
@@ -225,6 +247,5 @@ int main() {
                                            "the logical output");
   }
 
-  std::printf("\nE3 overall: %s\n", failures == 0 ? "PASS" : "FAIL");
-  return failures == 0 ? 0 : 1;
+  return rep.finish(failures);
 }

@@ -43,7 +43,8 @@ struct BareRunner {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("fig4_toffoli", argc, argv);
   bench::banner("E4 / Figure 4: measurement-free FT Toffoli");
   int failures = 0;
 
@@ -124,6 +125,10 @@ int main() {
                 "depth %zu | fault sites %zu\n",
                 layout.total(), coded.size(), two_q, ccx_count, ccz_count,
                 sched.depth(), sites.size());
+    rep.metric("coded_qubits", json::Value(layout.total()));
+    rep.metric("coded_gates", json::Value(coded.size()));
+    rep.metric("coded_depth", json::Value(sched.depth()));
+    rep.metric("coded_fault_sites", json::Value(sites.size()));
   }
 
   bench::section("(b) transversality audit of the full-code circuit");
@@ -222,11 +227,14 @@ int main() {
                 100.0 * report.malignant_fraction());
     std::printf("  correction layer: A <= %.1f, p* >= %.2e (conservative)\n",
                 report.p_squared_coefficient(), report.pseudo_threshold());
+    rep.metric("correction_p2_bound",
+               json::Value(report.p_squared_coefficient()));
+    rep.metric("correction_pseudo_threshold",
+               json::Value(report.pseudo_threshold()));
     failures += bench::verdict(report.single_fault_violations == 0,
                                "no single correction-layer fault exceeds "
                                "any block's tolerance");
   }
 
-  std::printf("\nE4 overall: %s\n", failures == 0 ? "PASS" : "FAIL");
-  return failures == 0 ? 0 : 1;
+  return rep.finish(failures);
 }

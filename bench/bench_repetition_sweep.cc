@@ -52,7 +52,8 @@ analysis::FaultExperiment make_experiment(int reps, bool syndrome) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("repetition_sweep", argc, argv);
   bench::banner("E8: N-gate repetition sweep (2k+1 = 3 suffices)");
   std::printf("\n %-5s %-9s %-7s %-8s %-14s %-13s %-12s\n", "reps",
               "syndrome", "gates", "sites", "1-fault fails", "A (p^2 coef)",
@@ -80,6 +81,13 @@ int main() {
       rows.push_back(
           Row{reps, syndrome, single.failures,
               single.failures == 0 ? pairs.pseudo_threshold() : 0.0});
+      char key[64];
+      std::snprintf(key, sizeof key, "reps%d_%s_single_failures", reps,
+                    syndrome ? "synd" : "nosynd");
+      rep.metric(key, json::Value(single.failures));
+      std::snprintf(key, sizeof key, "reps%d_%s_pseudo_threshold", reps,
+                    syndrome ? "synd" : "nosynd");
+      rep.metric(key, json::Value(rows.back().threshold));
     }
   }
 
@@ -113,6 +121,5 @@ int main() {
       others_fail,
       "every cheaper configuration has single-fault failures — both the "
       "repetition and the syndrome check are necessary");
-  std::printf("\nE8 overall: %s\n", failures == 0 ? "PASS" : "FAIL");
-  return failures == 0 ? 0 : 1;
+  return rep.finish(failures);
 }

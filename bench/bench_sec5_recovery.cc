@@ -58,20 +58,26 @@ analysis::FaultExperiment make_experiment(bool plus, bool measurement_free) {
 }
 
 FailureCounter monte_carlo(const analysis::FaultExperiment& ex, double p,
-                           std::uint64_t trials, std::uint64_t seed) {
-  return noise::run_trials(trials, seed, [&](Rng& rng) {
-    circuit::TabBackend backend(ex.num_qubits, rng.split());
-    circuit::execute(ex.prep, backend);
-    noise::StochasticInjector injector(noise::NoiseModel::paper_model(p),
-                                       rng.split());
-    const auto result = circuit::execute(ex.gadget, backend, &injector);
-    return ex.failed(backend, result);
-  });
+                           std::uint64_t trials, std::uint64_t seed,
+                           unsigned jobs) {
+  // Trial-local state only: safe on the driver's worker threads.
+  return noise::run_trials(
+      trials, seed,
+      [&](Rng& rng) {
+        circuit::TabBackend backend(ex.num_qubits, rng.split());
+        circuit::execute(ex.prep, backend);
+        noise::StochasticInjector injector(noise::NoiseModel::paper_model(p),
+                                           rng.split());
+        const auto result = circuit::execute(ex.gadget, backend, &injector);
+        return ex.failed(backend, result);
+      },
+      jobs);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("sec5_recovery", argc, argv);
   bench::banner("E5 / Section 5: measurement-free error recovery");
   int failures = 0;
 
@@ -152,16 +158,27 @@ int main() {
     std::printf("  %-9s %-27s %-27s\n", "p", "measurement-free",
                 "measured baseline");
     std::vector<double> mf_rates, mb_rates;
+    const bench::WallTimer timer;
     for (double p : ps) {
-      const auto mf = monte_carlo(make_experiment(false, true), p, trials, 31);
-      const auto mb = monte_carlo(make_experiment(false, false), p, trials, 37);
+      const auto mf = monte_carlo(make_experiment(false, true), p, trials, 31,
+                                  rep.jobs());
+      const auto mb = monte_carlo(make_experiment(false, false), p, trials, 37,
+                                  rep.jobs());
       mf_rates.push_back(mf.rate());
       mb_rates.push_back(mb.rate());
+      char key[48];
+      std::snprintf(key, sizeof key, "meas_free_p%g", p);
+      rep.counter(key, mf);
+      std::snprintf(key, sizeof key, "measured_p%g", p);
+      rep.counter(key, mb);
       std::printf("  %-9.0e %-27s %-27s\n", p, bench::rate_ci(mf).c_str(),
                   bench::rate_ci(mb).c_str());
     }
     const double slope_mf = bench::loglog_slope(ps, mf_rates);
     const double slope_mb = bench::loglog_slope(ps, mb_rates);
+    rep.metric("mc_wall_ms", json::Value(timer.ms()));
+    rep.metric("slope_meas_free", json::Value(slope_mf));
+    rep.metric("slope_measured", json::Value(slope_mb));
     std::printf("  log-log slopes: measurement-free %.2f, measured %.2f\n",
                 slope_mf, slope_mb);
     failures += bench::verdict(slope_mf > 1.4,
@@ -182,10 +199,12 @@ int main() {
                 100.0 * report.malignant_fraction());
     std::printf("  P_fail ~ %.1f p^2  =>  pseudo-threshold p* ~ %.2e\n",
                 report.p_squared_coefficient(), report.pseudo_threshold());
+    rep.metric("pair_p2_coefficient",
+               json::Value(report.p_squared_coefficient()));
+    rep.metric("pair_pseudo_threshold", json::Value(report.pseudo_threshold()));
     failures +=
         bench::verdict(report.pseudo_threshold() < 1.0, "threshold finite");
   }
 
-  std::printf("\nE5 overall: %s\n", failures == 0 ? "PASS" : "FAIL");
-  return failures == 0 ? 0 : 1;
+  return rep.finish(failures);
 }

@@ -4,15 +4,28 @@
 // prints PASS/FAIL against the paper's qualitative claim.  Trial counts
 // scale with the environment variable EQC_BENCH_SCALE (default 1.0), so
 // `EQC_BENCH_SCALE=10 ./bench_...` runs a 10x deeper version.
+//
+// Common flags (see Reporter):
+//   --jobs N     worker threads for the Monte-Carlo sections (0 = one per
+//                hardware thread).  Never changes any reported number —
+//                per-trial RNG streams are counter-split (noise/monte_carlo)
+//                — only the wall clock.
+//   --json PATH  where to write the machine-readable report (default
+//                BENCH_<name>.json in the working directory)
+//   --no-json    skip writing the report
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstdint>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/stats.h"
 
 namespace eqc::bench {
@@ -57,6 +70,97 @@ inline std::string rate_ci(const FailureCounter& counter) {
                 iv.high);
   return std::string(buf);
 }
+
+/// Wall-clock stopwatch for the perf-trajectory metrics.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Per-bench flag parsing plus the BENCH_<name>.json report.
+///
+/// The report schema (version 1):
+///   {
+///     "version": 1, "bench": "<name>", "scale": <EQC_BENCH_SCALE>,
+///     "jobs": <resolved --jobs>, "pass": <all verdicts passed>,
+///     "metrics":  { "<key>": <number|string>, ... },   // incl. *_wall_ms
+///     "counters": { "<key>": FailureCounter::to_json_value(), ... }
+///   }
+/// "counters" and every non-timing metric are deterministic — byte-identical
+/// across --jobs values; keys matching *wall_ms carry timings and are the
+/// only machine-dependent entries (CI's determinism gate excludes them).
+class Reporter {
+ public:
+  Reporter(std::string name, int argc, char** argv)
+      : name_(std::move(name)), json_path_("BENCH_" + name_ + ".json") {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+        jobs_ = static_cast<unsigned>(std::atoi(argv[++i]));
+      } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (std::strcmp(arg, "--no-json") == 0) {
+        json_path_.clear();
+      } else {
+        std::fprintf(stderr,
+                     "unknown argument '%s' (supported: --jobs N, "
+                     "--json PATH, --no-json)\n",
+                     arg);
+        std::exit(2);
+      }
+    }
+  }
+
+  /// Requested worker count, for noise::run_trials and friends (1 when the
+  /// flag is absent; 0 passes "one per hardware thread" through).
+  unsigned jobs() const { return jobs_; }
+
+  void metric(const std::string& key, json::Value v) {
+    metrics_.emplace_back(key, std::move(v));
+  }
+  void counter(const std::string& key, const FailureCounter& c) {
+    counters_.emplace_back(key, c.to_json_value());
+  }
+
+  /// Prints the summary verdict, writes the JSON report, and returns the
+  /// process exit code; call as `return reporter.finish(failures);`.
+  int finish(int failures) {
+    std::printf("\n%s overall: %s\n", name_.c_str(),
+                failures == 0 ? "PASS" : "FAIL");
+    if (!json_path_.empty()) {
+      json::Object doc;
+      doc.emplace_back("version", json::Value(1));
+      doc.emplace_back("bench", json::Value(name_));
+      doc.emplace_back("scale", json::Value(scale()));
+      doc.emplace_back("jobs", json::Value(jobs_));
+      doc.emplace_back("pass", json::Value(failures == 0));
+      doc.emplace_back("metrics", json::Value(std::move(metrics_)));
+      doc.emplace_back("counters", json::Value(std::move(counters_)));
+      std::ofstream out(json_path_, std::ios::binary | std::ios::trunc);
+      out << json::Value(std::move(doc)).dump() << "\n";
+      if (out.good())
+        std::printf("report written to %s\n", json_path_.c_str());
+      else
+        std::fprintf(stderr, "failed to write %s\n", json_path_.c_str());
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  unsigned jobs_ = 1;
+  json::Object metrics_;
+  json::Object counters_;
+};
 
 /// Least-squares slope of log(y) vs log(x), skipping non-positive ys.
 inline double loglog_slope(const std::vector<double>& xs,

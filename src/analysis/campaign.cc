@@ -7,11 +7,11 @@
 #include <fstream>
 #include <mutex>
 #include <sstream>
-#include <thread>
 #include <unordered_set>
 
 #include "circuit/tab_backend.h"
 #include "common/assert.h"
+#include "common/parallel.h"
 
 namespace eqc::analysis {
 
@@ -19,17 +19,6 @@ namespace {
 
 using pauli::Pauli;
 using pauli::PauliString;
-
-// ---------------------------------------------------------------------------
-// Per-item RNG streams: counter-split off the campaign seed via SplitMix64,
-// so an item's stream depends only on its position — never on which worker
-// or which kill/resume cycle evaluates it.
-std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) {
-  std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (index + 1));
-  (void)split_mix64(state);
-  (void)split_mix64(state);
-  return split_mix64(state);
-}
 
 const char* mode_name(CampaignMode mode) {
   return mode == CampaignMode::KFault ? "kfault" : "chaos";
@@ -170,8 +159,8 @@ ItemOutcome evaluate_item(const CampaignPlan& plan, std::uint64_t pos) {
     for (const std::uint32_t idx : combo) out.faults.push_back(plan.faults[idx]);
   } else {
     // Chaos: every site fires independently under the noise model, from a
-    // per-trial counter-split stream.
-    Rng item_rng(derive_seed(cfg.sample_seed, pos));
+    // per-trial counter-split stream (common/rng.h).
+    Rng item_rng(derive_stream_seed(cfg.sample_seed, pos));
     for (const auto& site : plan.sites) {
       const double p = cfg.chaos_model.probability_for(site.kind);
       if (p <= 0.0 || !item_rng.bernoulli(p)) continue;
@@ -223,6 +212,7 @@ std::string checkpoint_to_json(const CampaignPlan& plan,
     s.emplace_back("cursor", json::Value(st.cursor));
     s.emplace_back("tested", json::Value(st.counter.trials));
     s.emplace_back("malignant", json::Value(st.counter.failures));
+    s.emplace_back("stopped_early", json::Value(st.counter.stopped_early));
     shard_arr.emplace_back(std::move(s));
   }
   doc.emplace_back("shards", json::Value(std::move(shard_arr)));
@@ -279,6 +269,8 @@ std::vector<ShardState> load_checkpoint(const CampaignPlan& plan,
     shards[s].cursor = shard_arr[s].at("cursor").as_u64();
     shards[s].counter.trials = shard_arr[s].at("tested").as_u64();
     shards[s].counter.failures = shard_arr[s].at("malignant").as_u64();
+    if (const json::Value* se = shard_arr[s].find("stopped_early"))
+      shards[s].counter.stopped_early = se->as_bool();
   }
   for (const auto& m : doc.at("malignant_sets").as_array()) {
     MalignantSet set = malignant_set_from_json(m, plan.ex->num_qubits);
@@ -368,6 +360,7 @@ json::Value CampaignReport::to_json_value() const {
   doc.emplace_back("malignant", json::Value(malignant));
   doc.emplace_back("exhaustive", json::Value(exhaustive));
   doc.emplace_back("complete", json::Value(complete));
+  doc.emplace_back("stopped_early", json::Value(stopped_early));
   doc.emplace_back("malignant_fraction", json::Value(malignant_fraction()));
   const auto iv = malignant_interval();
   doc.emplace_back("wilson_low", json::Value(iv.low));
@@ -576,7 +569,6 @@ CampaignReport run_campaign(const FaultExperiment& ex,
   std::uint64_t items_since_ckpt = 0;
   std::atomic<std::uint64_t> claimed{0};
   std::atomic<bool> out_of_budget{false};
-  std::atomic<unsigned> next_shard{0};
 
   auto checkpoint_locked = [&] {
     if (!cfg.checkpoint_path.empty())
@@ -584,62 +576,52 @@ CampaignReport run_campaign(const FaultExperiment& ex,
                             checkpoint_to_json(plan, shards));
   };
 
-  auto worker = [&] {
+  // Shard s owns stream positions s, s + S, s + 2S, ... (S = shards); the
+  // shared pool (common/parallel.h) hands each shard to exactly one worker,
+  // which drains it in position order.
+  auto process_shard = [&](unsigned s) {
+    ShardState& st = shards[s];
     for (;;) {
-      const unsigned s = next_shard.fetch_add(1);
-      if (s >= plan.num_shards) return;
-      ShardState& st = shards[s];
-      // Shard s owns stream positions s, s + S, s + 2S, ... (S = shards);
-      // exactly one worker processes a shard per run, in position order.
-      for (;;) {
-        if (out_of_budget.load()) return;
-        const std::uint64_t pos =
-            s + st.cursor * static_cast<std::uint64_t>(plan.num_shards);
-        if (pos >= plan.total_items) break;
-        if (cfg.max_items_this_run != 0 &&
-            claimed.fetch_add(1) >= cfg.max_items_this_run) {
-          out_of_budget.store(true);
-          return;
-        }
+      if (out_of_budget.load()) return;
+      const std::uint64_t pos =
+          s + st.cursor * static_cast<std::uint64_t>(plan.num_shards);
+      if (pos >= plan.total_items) return;
+      if (cfg.max_items_this_run != 0 &&
+          claimed.fetch_add(1) >= cfg.max_items_this_run) {
+        out_of_budget.store(true);
+        return;
+      }
 
-        ItemOutcome outcome = evaluate_item(plan, pos);
-        MalignantSet found;
-        if (outcome.malignant) {
-          found.index = pos;
-          found.faults = std::move(outcome.faults);
-          if (cfg.shrink) {
-            found.faults = shrink_fault_set(ex, std::move(found.faults));
-            found.minimal = true;
-          }
-          if (cfg.tripwire.enabled()) {
-            const auto probed =
-                run_with_faults_probed(ex, found.faults, cfg.tripwire);
-            found.tripped = probed.tripped;
-            found.trip_ordinal = probed.trip_ordinal;
-          }
+      ItemOutcome outcome = evaluate_item(plan, pos);
+      MalignantSet found;
+      if (outcome.malignant) {
+        found.index = pos;
+        found.faults = std::move(outcome.faults);
+        if (cfg.shrink) {
+          found.faults = shrink_fault_set(ex, std::move(found.faults));
+          found.minimal = true;
         }
+        if (cfg.tripwire.enabled()) {
+          const auto probed =
+              run_with_faults_probed(ex, found.faults, cfg.tripwire);
+          found.tripped = probed.tripped;
+          found.trip_ordinal = probed.trip_ordinal;
+        }
+      }
 
-        std::lock_guard<std::mutex> lock(mu);
-        ++st.cursor;
-        if (outcome.tested) st.counter.add(outcome.malignant);
-        if (outcome.malignant) st.sets.push_back(std::move(found));
-        if (++items_since_ckpt >= cfg.checkpoint_every) {
-          items_since_ckpt = 0;
-          checkpoint_locked();
-        }
+      std::lock_guard<std::mutex> lock(mu);
+      ++st.cursor;
+      if (outcome.tested) st.counter.add(outcome.malignant);
+      if (outcome.malignant) st.sets.push_back(std::move(found));
+      if (++items_since_ckpt >= cfg.checkpoint_every) {
+        items_since_ckpt = 0;
+        checkpoint_locked();
       }
     }
   };
 
-  const unsigned jobs = std::max(1u, cfg.jobs);
-  if (jobs == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
+  parallel::for_each_shard(plan.num_shards, std::max(1u, cfg.jobs),
+                           process_shard);
 
   {
     std::lock_guard<std::mutex> lock(mu);
@@ -674,6 +656,7 @@ CampaignReport run_campaign(const FaultExperiment& ex,
             });
   report.sets_tested = merged.trials;
   report.malignant = merged.failures;
+  report.stopped_early = merged.stopped_early;
   report.complete = complete;
   report.exhaustive = plan.exhaustive && complete;
   return report;

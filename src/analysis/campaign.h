@@ -124,6 +124,10 @@ struct CampaignReport {
   std::uint64_t malignant = 0;
   bool exhaustive = false;  ///< every valid k-subset of the universe tested
   bool complete = false;    ///< the item stream was drained
+  /// A failure-budget stopping rule terminated counting (see
+  /// FailureCounter::stopped_early); always false for the campaign modes
+  /// shipped today, carried so report JSON states the estimator's validity.
+  bool stopped_early = false;
   std::uint64_t experiment_seed = 0;
   std::uint64_t sample_seed = 0;
   double chaos_p = 0.0;            ///< chaos_model.p (Chaos mode)

@@ -4,32 +4,72 @@
 
 namespace eqc::circuit {
 
-void SvBackend::prep_x(std::size_t q) {
-  state_.reset(q, rng_);
-  state_.apply1(q, qsim::gate_h());
+void SvBackend::fuse(std::size_t q, const Mat2& u) {
+  Pending& p = pending_[q];
+  if (p.active) {
+    p.u = u * p.u;  // later gate acts after (to the left of) the pending one
+  } else {
+    p.active = true;
+    p.u = u;
+  }
 }
-void SvBackend::h(std::size_t q) { state_.apply1(q, qsim::gate_h()); }
-void SvBackend::x(std::size_t q) { state_.apply1(q, qsim::gate_x()); }
-void SvBackend::y(std::size_t q) { state_.apply1(q, qsim::gate_y()); }
-void SvBackend::z(std::size_t q) { state_.apply1(q, qsim::gate_z()); }
-void SvBackend::s(std::size_t q) { state_.apply1(q, qsim::gate_s()); }
-void SvBackend::sdg(std::size_t q) { state_.apply1(q, qsim::gate_sdg()); }
-void SvBackend::t(std::size_t q) { state_.apply1(q, qsim::gate_t()); }
-void SvBackend::tdg(std::size_t q) { state_.apply1(q, qsim::gate_tdg()); }
+
+void SvBackend::flush(std::size_t q) const {
+  Pending& p = pending_[q];
+  if (!p.active) return;
+  p.active = false;
+  state_.apply1(q, p.u);
+}
+
+void SvBackend::flush_all() const {
+  for (std::size_t q = 0; q < pending_.size(); ++q) flush(q);
+}
+
+void SvBackend::prep_x(std::size_t q) {
+  flush_all();
+  state_.reset(q, rng_);
+  state_.apply_h(q);
+}
+void SvBackend::h(std::size_t q) {
+  // H breaks the diagonal/anti-diagonal shape, so an unfused H goes to the
+  // dedicated kernel; fusion still wins when it lands on a pending product.
+  if (pending_[q].active) {
+    fuse(q, qsim::gate_h());
+  } else {
+    state_.apply_h(q);
+  }
+}
+void SvBackend::x(std::size_t q) { fuse(q, qsim::gate_x()); }
+void SvBackend::y(std::size_t q) { fuse(q, qsim::gate_y()); }
+void SvBackend::z(std::size_t q) { fuse(q, qsim::gate_z()); }
+void SvBackend::s(std::size_t q) { fuse(q, qsim::gate_s()); }
+void SvBackend::sdg(std::size_t q) { fuse(q, qsim::gate_sdg()); }
+void SvBackend::t(std::size_t q) { fuse(q, qsim::gate_t()); }
+void SvBackend::tdg(std::size_t q) { fuse(q, qsim::gate_tdg()); }
 
 void SvBackend::cs(std::size_t c, std::size_t t) {
+  flush(c);
+  flush(t);
   state_.apply_controlled({c}, t, qsim::gate_s());
 }
 
 void SvBackend::csdg(std::size_t c, std::size_t t) {
+  flush(c);
+  flush(t);
   state_.apply_controlled({c}, t, qsim::gate_sdg());
 }
 
 void SvBackend::ccx(std::size_t c0, std::size_t c1, std::size_t t) {
+  flush(c0);
+  flush(c1);
+  flush(t);
   state_.apply_controlled({c0, c1}, t, qsim::gate_x());
 }
 
 void SvBackend::ccz(std::size_t a, std::size_t b, std::size_t c) {
+  flush(a);
+  flush(b);
+  flush(c);
   state_.apply_controlled({a, b}, c, qsim::gate_z());
 }
 

@@ -1,5 +1,17 @@
 // State-vector implementation of the Backend interface.
+//
+// Adjacent single-qubit gates on the same qubit are FUSED: each gate
+// accumulates into a pending per-qubit 2x2 unitary (a cheap matrix-matrix
+// product) and only the product touches the exponentially sized amplitude
+// array — via StateVector::apply1, whose shape dispatch keeps diagonal /
+// anti-diagonal products on the specialized kernels.  Pending gates are
+// flushed before any operation that consumes the involved qubits (2-qubit
+// gates flush just their operands; measurement, Pauli injection and state
+// readout flush everything), so observable behavior matches the eager
+// backend up to floating-point association.
 #pragma once
+
+#include <vector>
 
 #include "circuit/backend.h"
 #include "qsim/state_vector.h"
@@ -9,17 +21,26 @@ namespace eqc::circuit {
 class SvBackend final : public Backend {
  public:
   SvBackend(std::size_t num_qubits, Rng rng)
-      : state_(num_qubits), rng_(rng) {}
+      : state_(num_qubits), rng_(rng), pending_(num_qubits) {}
   /// Wraps an existing state (moved in).
   SvBackend(qsim::StateVector state, Rng rng)
-      : state_(std::move(state)), rng_(rng) {}
+      : state_(std::move(state)), rng_(rng), pending_(state_.num_qubits()) {}
 
-  qsim::StateVector& state() { return state_; }
-  const qsim::StateVector& state() const { return state_; }
+  qsim::StateVector& state() {
+    flush_all();
+    return state_;
+  }
+  const qsim::StateVector& state() const {
+    flush_all();
+    return state_;
+  }
 
   std::size_t num_qubits() const override { return state_.num_qubits(); }
 
-  void prep_z(std::size_t q) override { state_.reset(q, rng_); }
+  void prep_z(std::size_t q) override {
+    flush_all();
+    state_.reset(q, rng_);
+  }
   void prep_x(std::size_t q) override;
   void h(std::size_t q) override;
   void x(std::size_t q) override;
@@ -29,26 +50,58 @@ class SvBackend final : public Backend {
   void sdg(std::size_t q) override;
   void t(std::size_t q) override;
   void tdg(std::size_t q) override;
-  void cnot(std::size_t c, std::size_t t) override { state_.apply_cnot(c, t); }
-  void cz(std::size_t a, std::size_t b) override { state_.apply_cz(a, b); }
+  void cnot(std::size_t c, std::size_t t) override {
+    flush(c);
+    flush(t);
+    state_.apply_cnot(c, t);
+  }
+  void cz(std::size_t a, std::size_t b) override {
+    flush(a);
+    flush(b);
+    state_.apply_cz(a, b);
+  }
   void cs(std::size_t c, std::size_t t) override;
   void csdg(std::size_t c, std::size_t t) override;
-  void swap(std::size_t a, std::size_t b) override { state_.apply_swap(a, b); }
+  void swap(std::size_t a, std::size_t b) override {
+    flush(a);
+    flush(b);
+    state_.apply_swap(a, b);
+  }
   void ccx(std::size_t c0, std::size_t c1, std::size_t t) override;
   void ccz(std::size_t a, std::size_t b, std::size_t c) override;
 
-  bool measure_z(std::size_t q) override { return state_.measure(q, rng_); }
+  bool measure_z(std::size_t q) override {
+    flush_all();
+    return state_.measure(q, rng_);
+  }
   double expectation_z(std::size_t q) const override {
+    flush_all();
     return state_.expectation_z(q);
   }
   void apply_pauli(const pauli::PauliString& p) override {
+    flush_all();
     state_.apply_pauli(p);
   }
   Rng& rng() override { return rng_; }
 
  private:
-  qsim::StateVector state_;
+  /// Accumulates `u` onto qubit q's pending product.
+  void fuse(std::size_t q, const Mat2& u);
+  /// Applies and clears qubit q's pending product, if any.
+  void flush(std::size_t q) const;
+  void flush_all() const;
+
+  struct Pending {
+    bool active = false;
+    Mat2 u;
+  };
+
+  /// mutable: const readers (state(), expectation_z) must be able to flush
+  /// pending gates — the amplitudes they observe are the same either way,
+  /// flushing only moves when the arithmetic happens.
+  mutable qsim::StateVector state_;
   Rng rng_;
+  mutable std::vector<Pending> pending_;
 };
 
 }  // namespace eqc::circuit

@@ -1,0 +1,32 @@
+// Deterministic sharded worker pool.
+//
+// The campaign engine and the Monte-Carlo trial driver share one
+// parallelism discipline: the work stream is partitioned into a fixed
+// number of logical SHARDS (independent of the worker count), each shard
+// is processed by exactly one worker in stream order, and per-item
+// randomness is counter-split off a stated seed (common/rng.h:
+// derive_stream_seed) — never drawn from a sequentially advanced master.
+// Under that discipline every item's outcome is a pure function of its
+// position, so the merged result is BYTE-IDENTICAL for any `jobs` value;
+// threads only change the wall clock.
+#pragma once
+
+#include <functional>
+
+namespace eqc::parallel {
+
+/// Resolves a worker-count request: 0 means "one per hardware thread"
+/// (at least 1); any other value is returned unchanged.
+unsigned resolve_jobs(unsigned jobs);
+
+/// Invokes `body(shard)` once for every shard in [0, num_shards), spread
+/// over up to `jobs` worker threads (`jobs` is resolved first; a resolved
+/// count of 1 runs inline on the calling thread, spawning nothing).
+/// Shards are claimed atomically in index order; each is processed by
+/// exactly one worker.  `body` must be safe to invoke concurrently on
+/// distinct shards.  The first exception thrown by any shard is rethrown
+/// on the calling thread after all workers join.
+void for_each_shard(unsigned num_shards, unsigned jobs,
+                    const std::function<void(unsigned)>& body);
+
+}  // namespace eqc::parallel

@@ -1,5 +1,7 @@
 #include "common/rng.h"
 
+#include <cmath>
+
 #include "common/assert.h"
 
 namespace eqc {
@@ -39,7 +41,18 @@ double Rng::uniform() {
   return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t index) {
+  // Two throwaway SplitMix64 rounds decorrelate adjacent indices before the
+  // third output is used as the child seed (the Rng constructor runs the
+  // state through SplitMix64 again to fill all four xoshiro words).
+  std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (index + 1));
+  (void)split_mix64(state);
+  (void)split_mix64(state);
+  return split_mix64(state);
+}
+
 bool Rng::bernoulli(double p) {
+  EQC_EXPECTS(!std::isnan(p));
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return uniform() < p;

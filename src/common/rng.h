@@ -15,6 +15,14 @@ namespace eqc {
 /// SplitMix64 step; used for seeding and for deriving child seeds.
 std::uint64_t split_mix64(std::uint64_t& state);
 
+/// Counter-split stream derivation: the seed of stream `index` under master
+/// seed `seed`, as a pure function of the pair.  Unlike Rng::split(), which
+/// advances (and therefore depends on) the parent stream, adjacent indices
+/// yield decorrelated streams no matter which order — or on which thread —
+/// they are instantiated.  This is the per-trial / per-item scheme shared by
+/// the Monte-Carlo driver and the campaign engine.
+std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t index);
+
 /// xoshiro256** pseudo-random generator with convenience distributions.
 ///
 /// Satisfies the UniformRandomBitGenerator concept so it can also be used
@@ -34,7 +42,9 @@ class Rng {
   /// Uniform double in [0, 1).
   double uniform();
 
-  /// True with probability p (p is clamped to [0,1]).
+  /// True with probability p (p is clamped to [0,1]; NaN violates the
+  /// contract — both clamp branches and the uniform() compare are false
+  /// for NaN, which would silently read as "never").
   bool bernoulli(double p);
 
   /// Uniform integer in [0, bound) — bound must be > 0.

@@ -27,6 +27,19 @@ double RunningStats::stderr_mean() const {
   return stddev() / std::sqrt(static_cast<double>(n_));
 }
 
+json::Value FailureCounter::to_json_value() const {
+  const auto iv = interval();
+  json::Object obj;
+  obj.emplace_back("trials", json::Value(trials));
+  obj.emplace_back("failures", json::Value(failures));
+  obj.emplace_back("rate", json::Value(rate()));
+  obj.emplace_back("rate_unbiased", json::Value(rate_unbiased()));
+  obj.emplace_back("wilson_low", json::Value(iv.low));
+  obj.emplace_back("wilson_high", json::Value(iv.high));
+  obj.emplace_back("stopped_early", json::Value(stopped_early));
+  return json::Value(std::move(obj));
+}
+
 BinomialInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
                                  double z) {
   EQC_EXPECTS(successes <= trials);

@@ -4,6 +4,8 @@
 
 #include <cstdint>
 
+#include "common/json.h"
+
 namespace eqc {
 
 /// Streaming mean / variance accumulator (Welford's algorithm).
@@ -37,21 +39,43 @@ BinomialInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
 struct FailureCounter {
   std::uint64_t trials = 0;
   std::uint64_t failures = 0;
+  /// True when the run that produced these counts was terminated by a
+  /// failure-budget stopping rule (run_trials_until) rather than by
+  /// exhausting its trial budget.  Under that negative-binomial stopping
+  /// rule the plain binomial rate() is biased upward and the Wilson
+  /// interval's nominal coverage does not hold, so consumers must either
+  /// annotate the estimate or switch estimator (see rate_unbiased()).
+  bool stopped_early = false;
 
   void add(bool failed) {
     ++trials;
     if (failed) ++failures;
   }
   double rate() const { return trials == 0 ? 0.0 : double(failures) / double(trials); }
+  /// Stopping-rule-aware point estimate: the plain binomial MLE when the
+  /// trial budget was exhausted, and the unbiased negative-binomial
+  /// estimator (failures - 1) / (trials - 1) when the run stopped early on
+  /// its failure budget (the last trial is a failure by construction).
+  double rate_unbiased() const {
+    if (!stopped_early || failures == 0) return rate();
+    if (trials <= 1) return rate();
+    return double(failures - 1) / double(trials - 1);
+  }
   BinomialInterval interval(double z = 1.96) const {
     return wilson_interval(failures, trials, z);
   }
-  /// Folds another counter in (shard merging in the campaign engine).
+  /// Folds another counter in (shard merging in the campaign engine and
+  /// the parallel trial driver).
   FailureCounter& merge(const FailureCounter& other) {
     trials += other.trials;
     failures += other.failures;
+    stopped_early = stopped_early || other.stopped_early;
     return *this;
   }
+  /// Canonical JSON: counts, both estimators, the Wilson interval and the
+  /// stopping flag — deterministic, so reports embedding it can be compared
+  /// byte-for-byte across `jobs` values.
+  json::Value to_json_value() const;
 };
 
 }  // namespace eqc

@@ -1,27 +1,131 @@
 #include "noise/monte_carlo.h"
 
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/parallel.h"
+
 namespace eqc::noise {
 
-FailureCounter run_trials(std::uint64_t trials, std::uint64_t seed,
-                          const std::function<bool(Rng&)>& trial) {
-  Rng master(seed);
-  FailureCounter counter;
-  for (std::uint64_t i = 0; i < trials; ++i) {
-    Rng trial_rng = master.split();
-    counter.add(trial(trial_rng));
+namespace {
+
+/// Logical shards per worker.  More shards than workers keeps the pool
+/// load-balanced when trial costs vary (a failing trial often runs longer
+/// than a clean one); the shard count never affects results, only the
+/// wall clock, because each trial's stream is a pure function of its index.
+constexpr unsigned kShardsPerWorker = 8;
+
+unsigned shard_count(std::uint64_t trials, unsigned workers) {
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(workers) * kShardsPerWorker;
+  return static_cast<unsigned>(std::min<std::uint64_t>(
+      std::max<std::uint64_t>(1, trials), want));
+}
+
+}  // namespace
+
+FailureCounter run_trials_indexed(
+    std::uint64_t trials, std::uint64_t seed,
+    const std::function<bool(std::uint64_t, Rng&)>& trial, unsigned jobs) {
+  EQC_EXPECTS(trial != nullptr);
+  const unsigned workers = parallel::resolve_jobs(jobs);
+
+  if (workers == 1) {
+    FailureCounter counter;
+    for (std::uint64_t i = 0; i < trials; ++i) {
+      Rng trial_rng(derive_stream_seed(seed, i));
+      counter.add(trial(i, trial_rng));
+    }
+    return counter;
   }
+
+  // Shard s owns trial indices s, s + S, s + 2S, ... (S = shards).  Each
+  // shard accumulates privately; the merge below sums counts, which is
+  // order-free, so the result equals the serial loop exactly.
+  const unsigned shards = shard_count(trials, workers);
+  std::vector<FailureCounter> partial(shards);
+  parallel::for_each_shard(shards, workers, [&](unsigned s) {
+    FailureCounter local;
+    for (std::uint64_t i = s; i < trials; i += shards) {
+      Rng trial_rng(derive_stream_seed(seed, i));
+      local.add(trial(i, trial_rng));
+    }
+    partial[s] = local;
+  });
+
+  FailureCounter counter;
+  for (const auto& p : partial) counter.merge(p);
   return counter;
+}
+
+FailureCounter run_trials(std::uint64_t trials, std::uint64_t seed,
+                          const std::function<bool(Rng&)>& trial,
+                          unsigned jobs) {
+  return run_trials_indexed(
+      trials, seed,
+      [&trial](std::uint64_t, Rng& rng) { return trial(rng); }, jobs);
+}
+
+std::vector<double> run_trial_values(
+    std::uint64_t trials, std::uint64_t seed,
+    const std::function<double(std::uint64_t, Rng&)>& trial, unsigned jobs) {
+  EQC_EXPECTS(trial != nullptr);
+  std::vector<double> values(trials, 0.0);
+  const unsigned workers = parallel::resolve_jobs(jobs);
+  const unsigned shards = shard_count(trials, workers);
+  parallel::for_each_shard(shards, workers, [&](unsigned s) {
+    for (std::uint64_t i = s; i < trials; i += shards) {
+      Rng trial_rng(derive_stream_seed(seed, i));
+      values[i] = trial(i, trial_rng);
+    }
+  });
+  return values;
 }
 
 FailureCounter run_trials_until(std::uint64_t max_trials,
                                 std::uint64_t max_failures, std::uint64_t seed,
-                                const std::function<bool(Rng&)>& trial) {
-  Rng master(seed);
+                                const std::function<bool(Rng&)>& trial,
+                                unsigned jobs) {
+  EQC_EXPECTS(trial != nullptr);
+  EQC_EXPECTS(max_failures > 0);
+  const unsigned workers = parallel::resolve_jobs(jobs);
   FailureCounter counter;
-  for (std::uint64_t i = 0; i < max_trials; ++i) {
-    Rng trial_rng = master.split();
-    counter.add(trial(trial_rng));
-    if (counter.failures >= max_failures) break;
+
+  if (workers == 1) {
+    for (std::uint64_t i = 0; i < max_trials; ++i) {
+      Rng trial_rng(derive_stream_seed(seed, i));
+      counter.add(trial(trial_rng));
+      if (counter.failures >= max_failures) {
+        counter.stopped_early = true;
+        break;
+      }
+    }
+    return counter;
+  }
+
+  // Parallel early stop: evaluate a block of upcoming indices concurrently
+  // (each outcome is a pure function of its index), then scan the block in
+  // index order, discarding everything past the stopping point.  The scan
+  // reproduces the serial loop exactly; speculation only costs wasted
+  // evaluations in the final block.
+  const std::uint64_t block =
+      std::max<std::uint64_t>(std::uint64_t{workers} * kShardsPerWorker, 1);
+  std::vector<std::uint8_t> outcomes;
+  for (std::uint64_t start = 0; start < max_trials; start += block) {
+    const std::uint64_t count = std::min(block, max_trials - start);
+    outcomes.assign(static_cast<std::size_t>(count), 0);
+    parallel::for_each_shard(
+        static_cast<unsigned>(count), workers, [&](unsigned j) {
+          Rng trial_rng(derive_stream_seed(seed, start + j));
+          outcomes[j] = trial(trial_rng) ? 1 : 0;
+        });
+    for (std::uint64_t j = 0; j < count; ++j) {
+      counter.add(outcomes[j] != 0);
+      if (counter.failures >= max_failures) {
+        counter.stopped_early = true;
+        return counter;
+      }
+    }
   }
   return counter;
 }

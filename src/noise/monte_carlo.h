@@ -1,8 +1,22 @@
-// Monte-Carlo trial driver with reproducible per-trial RNG streams.
+// Deterministic (parallel) Monte-Carlo trial driver.
+//
+// Every trial's RNG stream is counter-split off `(seed, trial_index)` via
+// derive_stream_seed — never drawn from a sequentially advanced master —
+// so trial i's outcome is a pure function of the seed and i: it does not
+// change when the trial budget grows, when trials run out of order, or
+// when they run on worker threads.  Consequently the returned counter is
+// BYTE-IDENTICAL for every `jobs` value; parallelism only changes the
+// wall clock.
+//
+// When `jobs != 1`, the trial callable is invoked concurrently from
+// multiple threads and must be safe to do so (the usual pattern — build
+// backend, injector and circuit state locally inside the trial — already
+// is).  `jobs == 0` means one worker per hardware thread.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
@@ -10,15 +24,39 @@
 namespace eqc::noise {
 
 /// Runs `trials` independent trials; `trial` returns true on failure.
-/// Each trial receives its own RNG split off a master stream seeded with
-/// `seed`, so results are reproducible and order-independent.
 FailureCounter run_trials(std::uint64_t trials, std::uint64_t seed,
-                          const std::function<bool(Rng&)>& trial);
+                          const std::function<bool(Rng&)>& trial,
+                          unsigned jobs = 1);
+
+/// Like run_trials, but the callable also receives its trial index (for
+/// callers that record per-trial artifacts, and for the regression tests
+/// pinning the stream-per-index contract).
+FailureCounter run_trials_indexed(
+    std::uint64_t trials, std::uint64_t seed,
+    const std::function<bool(std::uint64_t, Rng&)>& trial, unsigned jobs = 1);
+
+/// Deterministic parallel map over trial indices: returns `trial`'s value
+/// for every index, in index order, independent of `jobs`.  For benches
+/// that accumulate real-valued figures (infidelities, magnetizations)
+/// rather than failure bits; fold the vector into RunningStats serially
+/// and the statistics are byte-identical for any worker count.
+std::vector<double> run_trial_values(
+    std::uint64_t trials, std::uint64_t seed,
+    const std::function<double(std::uint64_t, Rng&)>& trial,
+    unsigned jobs = 1);
 
 /// Like run_trials but stops early once `max_failures` have been seen
-/// (useful when sweeping into the very-low-p regime).
+/// (useful when sweeping into the very-low-p regime).  The stop is applied
+/// in trial-index order — parallel runs speculatively evaluate a block of
+/// upcoming indices and discard outcomes past the stopping point — so the
+/// counter is byte-identical to the serial one.  When the failure budget
+/// (not the trial budget) terminates the run, the counter's
+/// `stopped_early` flag is set: the sample size is then data-dependent
+/// (negative-binomial stopping rule) and the plain binomial rate/Wilson
+/// interval are biased; see FailureCounter::rate_unbiased().
 FailureCounter run_trials_until(std::uint64_t max_trials,
                                 std::uint64_t max_failures, std::uint64_t seed,
-                                const std::function<bool(Rng&)>& trial);
+                                const std::function<bool(Rng&)>& trial,
+                                unsigned jobs = 1);
 
 }  // namespace eqc::noise

@@ -27,6 +27,18 @@ cplx StateVector::amplitude(std::uint64_t basis_state) const {
 
 void StateVector::apply1(std::size_t q, const Mat2& u) {
   EQC_EXPECTS(q < n_);
+  // Shape dispatch: the library's gate constructors (and any product of
+  // them) carry exact 0.0 entries, so equality checks are reliable.
+  const bool diag = u(0, 1) == cplx{0, 0} && u(1, 0) == cplx{0, 0};
+  if (diag) {
+    apply_diag1(q, u(0, 0), u(1, 1));
+    return;
+  }
+  const bool antidiag = u(0, 0) == cplx{0, 0} && u(1, 1) == cplx{0, 0};
+  if (antidiag) {
+    apply_antidiag1(q, u(0, 1), u(1, 0));
+    return;
+  }
   const std::uint64_t stride = std::uint64_t{1} << q;
   const std::uint64_t d = dim();
   for (std::uint64_t base = 0; base < d; base += 2 * stride) {
@@ -37,6 +49,70 @@ void StateVector::apply1(std::size_t q, const Mat2& u) {
       const cplx a1 = amp_[i1];
       amp_[i0] = u(0, 0) * a0 + u(0, 1) * a1;
       amp_[i1] = u(1, 0) * a0 + u(1, 1) * a1;
+    }
+  }
+}
+
+void StateVector::apply_diag1(std::size_t q, cplx d0, cplx d1) {
+  EQC_EXPECTS(q < n_);
+  const std::uint64_t stride = std::uint64_t{1} << q;
+  const std::uint64_t d = dim();
+  if (d0 == cplx{1, 0}) {
+    // Z / S / T family: only the |1>_q half-space moves.
+    for (std::uint64_t base = 0; base < d; base += 2 * stride)
+      for (std::uint64_t off = 0; off < stride; ++off)
+        amp_[base + stride + off] *= d1;
+    return;
+  }
+  for (std::uint64_t base = 0; base < d; base += 2 * stride) {
+    for (std::uint64_t off = 0; off < stride; ++off) {
+      amp_[base + off] *= d0;
+      amp_[base + stride + off] *= d1;
+    }
+  }
+}
+
+void StateVector::apply_antidiag1(std::size_t q, cplx a01, cplx a10) {
+  EQC_EXPECTS(q < n_);
+  const std::uint64_t stride = std::uint64_t{1} << q;
+  const std::uint64_t d = dim();
+  if (a01 == cplx{1, 0} && a10 == cplx{1, 0}) {
+    apply_x(q);
+    return;
+  }
+  for (std::uint64_t base = 0; base < d; base += 2 * stride) {
+    for (std::uint64_t off = 0; off < stride; ++off) {
+      const std::uint64_t i0 = base + off;
+      const std::uint64_t i1 = i0 + stride;
+      const cplx a0 = amp_[i0];
+      amp_[i0] = a01 * amp_[i1];
+      amp_[i1] = a10 * a0;
+    }
+  }
+}
+
+void StateVector::apply_x(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  const std::uint64_t stride = std::uint64_t{1} << q;
+  const std::uint64_t d = dim();
+  for (std::uint64_t base = 0; base < d; base += 2 * stride)
+    for (std::uint64_t off = 0; off < stride; ++off)
+      std::swap(amp_[base + off], amp_[base + stride + off]);
+}
+
+void StateVector::apply_h(std::size_t q) {
+  EQC_EXPECTS(q < n_);
+  constexpr double kInvSqrt2 = 0.70710678118654752440;
+  const std::uint64_t stride = std::uint64_t{1} << q;
+  const std::uint64_t d = dim();
+  for (std::uint64_t base = 0; base < d; base += 2 * stride) {
+    for (std::uint64_t off = 0; off < stride; ++off) {
+      const std::uint64_t i0 = base + off;
+      const std::uint64_t i1 = i0 + stride;
+      const cplx a0 = amp_[i0];
+      const cplx a1 = amp_[i1];
+      amp_[i0] = kInvSqrt2 * (a0 + a1);
+      amp_[i1] = kInvSqrt2 * (a0 - a1);
     }
   }
 }
@@ -118,25 +194,33 @@ void StateVector::apply_pauli(const pauli::PauliString& p) {
   static constexpr cplx kIPow[4] = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
   const cplx global = kIPow[p.phase()];
   const std::uint64_t d = dim();
+  if (xmask == 0) {
+    // Pure-Z string: a diagonal phase, applied in place.
+    for (std::uint64_t i = 0; i < d; ++i) {
+      const bool neg = std::popcount(i & zmask) % 2 == 1;
+      amp_[i] *= neg ? -global : global;
+    }
+    return;
+  }
   // P |i> = i^k (-1)^{parity(z & i)} |i ^ x>   (Z acts first, X flips after).
-  std::vector<cplx> out(d);
+  scratch_.resize(d);
   for (std::uint64_t i = 0; i < d; ++i) {
     const bool neg = std::popcount(i & zmask) % 2 == 1;
-    out[i ^ xmask] = (neg ? -global : global) * amp_[i];
+    scratch_[i ^ xmask] = (neg ? -global : global) * amp_[i];
   }
-  amp_ = std::move(out);
+  amp_.swap(scratch_);
 }
 
 void StateVector::apply_permutation(
     const std::function<std::uint64_t(std::uint64_t)>& pi) {
   const std::uint64_t d = dim();
-  std::vector<cplx> out(d, cplx{0, 0});
+  scratch_.assign(d, cplx{0, 0});
   for (std::uint64_t i = 0; i < d; ++i) {
     const std::uint64_t j = pi(i);
     EQC_EXPECTS(j < d);
-    out[j] += amp_[i];
+    scratch_[j] += amp_[i];
   }
-  amp_ = std::move(out);
+  amp_.swap(scratch_);
   // A non-bijective pi would change the norm; catch it.
   EQC_ENSURES(std::abs(norm() - 1.0) < 1e-6);
 }
@@ -179,13 +263,8 @@ bool StateVector::measure(std::size_t q, Rng& rng) {
 }
 
 void StateVector::reset(std::size_t q, Rng& rng) {
-  if (measure(q, rng)) {
-    // Flip back to |0>: X on a collapsed qubit.
-    const std::uint64_t b = std::uint64_t{1} << q;
-    const std::uint64_t d = dim();
-    for (std::uint64_t i = 0; i < d; ++i)
-      if (i & b) std::swap(amp_[i ^ b], amp_[i]);
-  }
+  // Flip back to |0>: X on a collapsed qubit.
+  if (measure(q, rng)) apply_x(q);
 }
 
 double StateVector::norm() const {
@@ -231,22 +310,33 @@ std::vector<cplx> StateVector::reduced_density_matrix(
   for (std::size_t q = 0; q < n_; ++q)
     if (!kept[q]) env.push_back(q);
 
-  auto full_index = [&](std::uint64_t r, std::uint64_t e) {
+  // Precomputed scatter tables replace the per-amplitude bit loop: the
+  // full index of (r, e) is kept_index_[r] | env_index_[e].  The tables
+  // are member scratch so repeated readouts (one per Monte-Carlo trial
+  // step) reuse their capacity.
+  const std::uint64_t ed = std::uint64_t{1} << env.size();
+  kept_index_.resize(kd);
+  for (std::uint64_t r = 0; r < kd; ++r) {
     std::uint64_t idx = 0;
     for (std::size_t b = 0; b < k; ++b)
       if (r & (std::uint64_t{1} << b)) idx |= std::uint64_t{1} << qubits[b];
+    kept_index_[r] = idx;
+  }
+  env_index_.resize(ed);
+  for (std::uint64_t e = 0; e < ed; ++e) {
+    std::uint64_t idx = 0;
     for (std::size_t b = 0; b < env.size(); ++b)
       if (e & (std::uint64_t{1} << b)) idx |= std::uint64_t{1} << env[b];
-    return idx;
-  };
+    env_index_[e] = idx;
+  }
 
-  const std::uint64_t ed = std::uint64_t{1} << env.size();
   for (std::uint64_t e = 0; e < ed; ++e) {
+    const std::uint64_t ebits = env_index_[e];
     for (std::uint64_t r = 0; r < kd; ++r) {
-      const cplx ar = amp_[full_index(r, e)];
+      const cplx ar = amp_[kept_index_[r] | ebits];
       if (ar == cplx{0, 0}) continue;
       for (std::uint64_t c = 0; c < kd; ++c) {
-        const cplx ac = amp_[full_index(c, e)];
+        const cplx ac = amp_[kept_index_[c] | ebits];
         rho[r * kd + c] += ar * std::conj(ac);
       }
     }

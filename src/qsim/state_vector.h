@@ -35,7 +35,22 @@ class StateVector {
   const std::vector<cplx>& amplitudes() const { return amp_; }
 
   // --- Unitary evolution -------------------------------------------------
+  /// Generic single-qubit gate.  Diagonal and anti-diagonal matrices are
+  /// detected (exact-zero off/on-diagonal entries, which all library gate
+  /// constructors and their products preserve) and dispatched to the
+  /// specialized kernels below, skipping the generic complex multiply.
   void apply1(std::size_t q, const Mat2& u);
+  /// diag(d0, d1) on qubit q; when d0 == 1 only the upper half-space is
+  /// touched (covers Z, S, Sdg, T, Tdg and their products).
+  void apply_diag1(std::size_t q, cplx d0, cplx d1);
+  /// Anti-diagonal [[0, a01], [a10, 0]] on qubit q (covers X, Y and
+  /// products of either with diagonal gates).
+  void apply_antidiag1(std::size_t q, cplx a01, cplx a10);
+  /// Hadamard on qubit q (dedicated kernel: one real scale, no complex
+  /// matrix product).
+  void apply_h(std::size_t q);
+  /// Pauli X on qubit q (pure amplitude swap).
+  void apply_x(std::size_t q);
   /// 2-qubit gate; `high` indexes the more significant qubit of the 4x4
   /// matrix's 2-bit row index (row = 2*bit(high) + bit(low)).
   void apply2(std::size_t high, std::size_t low, const Mat4& u);
@@ -86,6 +101,16 @@ class StateVector {
  private:
   std::size_t n_;
   std::vector<cplx> amp_;
+  /// Reused full-dimension scratch for the out-of-place kernels
+  /// (apply_pauli / apply_permutation): its capacity survives across calls
+  /// so steady-state evolution allocates nothing.  StateVector is not
+  /// internally synchronized; concurrent use of one instance — const or
+  /// not — requires external locking (the parallel Monte-Carlo drivers use
+  /// one StateVector per trial).
+  mutable std::vector<cplx> scratch_;
+  /// Reused index tables for reduced_density_matrix.
+  mutable std::vector<std::uint64_t> kept_index_;
+  mutable std::vector<std::uint64_t> env_index_;
 };
 
 }  // namespace eqc::qsim

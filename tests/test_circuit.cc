@@ -12,6 +12,7 @@
 #include "common/assert.h"
 #include "common/rng.h"
 #include "noise/model.h"
+#include "qsim/gates.h"
 
 namespace eqc::circuit {
 namespace {
@@ -82,6 +83,30 @@ TEST(Schedule, IdleLocationsCounted) {
   EXPECT_EQ(sched.total_idle_locations(), 1u);
 }
 
+TEST(Schedule, IdleLocationsWithReusedAndSingleUseQubits) {
+  Circuit c(3);
+  // Qubit 0 acts every moment (never idles).  Qubit 1 is reused — it acts
+  // at the first and last moments and idles in between.  Qubit 2 is used
+  // exactly once: idle locations only exist while a qubit is live (between
+  // its first and last use), so it contributes none.
+  c.h(1).h(2).h(0).h(0).h(0).cnot(0, 1);
+  const auto sched = schedule(c);
+  ASSERT_EQ(sched.depth(), 4u);
+  // idle[t] lists the qubits idling at moment t: only qubit 1, at the two
+  // moments between its first and last use.
+  EXPECT_TRUE(sched.idle[0].empty());
+  EXPECT_EQ(sched.idle[1], std::vector<std::uint32_t>{1});
+  EXPECT_EQ(sched.idle[2], std::vector<std::uint32_t>{1});
+  EXPECT_TRUE(sched.idle[3].empty());
+  EXPECT_EQ(sched.total_idle_locations(), 2u);
+}
+
+TEST(Schedule, SingleMomentCircuitHasNoIdles) {
+  Circuit c(2);
+  c.h(0).h(1);
+  EXPECT_EQ(schedule(c).total_idle_locations(), 0u);
+}
+
 TEST(Schedule, ClassicalDependencyOrdersConditionedOp) {
   Circuit c(2);
   const auto slot = c.measure_z(0);
@@ -107,6 +132,59 @@ TEST(Execute, BellCircuitOnBothBackends) {
     EXPECT_TRUE(b.tableau().state_is_stabilized_by(
         PauliString::from_string("XX")));
   }
+}
+
+TEST(Execute, SvBackendGateFusionMatchesEagerApplication) {
+  // SvBackend fuses adjacent single-qubit gates into one 2x2 product before
+  // touching the amplitude array.  A gate-dense circuit (runs of 1q gates
+  // interrupted by 2q gates, measurements and Pauli injection) must produce
+  // the same state as applying every gate eagerly, one at a time.
+  Circuit c(3);
+  c.h(0).t(0).s(0).h(0).x(1).z(1).s(1).sdg(2).tdg(2).y(2);
+  c.cnot(0, 1);
+  c.t(1).t(1).h(2);
+  c.cz(1, 2);
+  c.s(0).h(1).x(2).z(0);
+
+  SvBackend fused(3, Rng(1));
+  execute(c, fused);
+
+  qsim::StateVector eager(3);
+  for (const auto& op : c.ops()) {
+    switch (op.kind) {
+      case OpKind::H: eager.apply1(op.q[0], qsim::gate_h()); break;
+      case OpKind::X: eager.apply1(op.q[0], qsim::gate_x()); break;
+      case OpKind::Y: eager.apply1(op.q[0], qsim::gate_y()); break;
+      case OpKind::Z: eager.apply1(op.q[0], qsim::gate_z()); break;
+      case OpKind::S: eager.apply1(op.q[0], qsim::gate_s()); break;
+      case OpKind::Sdg: eager.apply1(op.q[0], qsim::gate_sdg()); break;
+      case OpKind::T: eager.apply1(op.q[0], qsim::gate_t()); break;
+      case OpKind::Tdg: eager.apply1(op.q[0], qsim::gate_tdg()); break;
+      case OpKind::CNOT: eager.apply_cnot(op.q[0], op.q[1]); break;
+      case OpKind::CZ: eager.apply_cz(op.q[0], op.q[1]); break;
+      default: FAIL() << "unexpected op";
+    }
+  }
+  for (std::uint64_t i = 0; i < eager.dim(); ++i)
+    EXPECT_NEAR(std::abs(fused.state().amplitude(i) - eager.amplitude(i)),
+                0.0, 1e-10)
+        << "basis " << i;
+}
+
+TEST(Execute, SvBackendFlushesBeforeMeasurementAndPauli) {
+  // A pending fused product must be applied before a measurement or an
+  // injected Pauli consumes the qubit — otherwise program order breaks.
+  Circuit c(1);
+  c.h(0).z(0).h(0);  // HZH = X: deterministic |1>
+  const auto slot = c.measure_z(0);
+  SvBackend b(1, Rng(7));
+  const auto result = execute(c, b);
+  EXPECT_TRUE(result.cbits[slot]);
+
+  SvBackend b2(2, Rng(3));
+  b2.x(0);  // pending
+  b2.apply_pauli(PauliString::from_string("XI"));  // must see |1> on qubit 0
+  EXPECT_NEAR(b2.state().prob_one(0), 0.0, 1e-12);
 }
 
 TEST(Execute, MeasurementFeedsClassicalControl) {

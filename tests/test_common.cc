@@ -4,9 +4,14 @@
 #include <cmath>
 #include <set>
 
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
 #include "common/assert.h"
 #include "common/json.h"
 #include "common/matrix.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 
@@ -77,6 +82,32 @@ TEST(Rng, BelowOneIsAlwaysZero) {
 TEST(Rng, BelowZeroViolatesContract) {
   Rng rng(1);
   EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(Rng, BernoulliNaNViolatesContract) {
+  // NaN compares false against everything, so an unguarded bernoulli(NaN)
+  // would silently return false — a noise model with a NaN probability
+  // would look perfectly clean.  It must be a contract violation instead.
+  Rng rng(2);
+  EXPECT_THROW(rng.bernoulli(std::nan("")), ContractViolation);
+}
+
+TEST(Rng, DeriveStreamSeedIsPureAndDecorrelated) {
+  // Pure function of (seed, index)...
+  EXPECT_EQ(derive_stream_seed(42, 7), derive_stream_seed(42, 7));
+  // ...and adjacent indices (or seeds) give unrelated streams: across many
+  // derivations no two collide and the derived Rngs disagree immediately.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    seeds.insert(derive_stream_seed(42, i));
+  for (std::uint64_t s = 10000; s < 10100; ++s)
+    seeds.insert(derive_stream_seed(s, 0));
+  EXPECT_EQ(seeds.size(), 1100u);
+  Rng a(derive_stream_seed(42, 0)), b(derive_stream_seed(42, 1));
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
 }
 
 TEST(Rng, SplitStreamsAreIndependentAndReproducible) {
@@ -176,6 +207,36 @@ TEST(Stats, FailureCounter) {
   EXPECT_DOUBLE_EQ(c.rate(), 0.5);
 }
 
+TEST(Parallel, ResolveJobs) {
+  EXPECT_EQ(parallel::resolve_jobs(1), 1u);
+  EXPECT_EQ(parallel::resolve_jobs(7), 7u);
+  EXPECT_GE(parallel::resolve_jobs(0), 1u);  // 0 = hardware concurrency
+}
+
+TEST(Parallel, EveryShardRunsExactlyOnce) {
+  for (unsigned jobs : {1u, 2u, 16u}) {
+    std::vector<std::atomic<int>> hits(37);
+    parallel::for_each_shard(37, jobs, [&](unsigned s) { ++hits[s]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Parallel, ZeroShardsIsANoOp) {
+  parallel::for_each_shard(0, 4, [](unsigned) { FAIL(); });
+}
+
+TEST(Parallel, FirstExceptionPropagates) {
+  for (unsigned jobs : {1u, 4u}) {
+    EXPECT_THROW(parallel::for_each_shard(
+                     8, jobs,
+                     [](unsigned s) {
+                       if (s == 3) throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error)
+        << "jobs=" << jobs;
+  }
+}
+
 TEST(Contracts, MacrosThrow) {
   EXPECT_THROW(EQC_EXPECTS(false), ContractViolation);
   EXPECT_THROW(EQC_ENSURES(false), ContractViolation);
@@ -245,6 +306,52 @@ TEST(Stats, FailureCounterMergeAndInterval) {
   EXPECT_GT(iv.high, 0.25);
   EXPECT_GT(iv.low, 0.15);
   EXPECT_LT(iv.high, 0.37);
+}
+
+TEST(Stats, MergePropagatesStoppedEarly) {
+  FailureCounter a, b;
+  a.add(false);
+  b.add(true);
+  b.stopped_early = true;
+  a.merge(b);
+  EXPECT_TRUE(a.stopped_early);
+  FailureCounter c;
+  c.add(false);
+  a.merge(c);  // merging a clean counter must not clear the flag
+  EXPECT_TRUE(a.stopped_early);
+}
+
+TEST(Stats, RateUnbiasedCorrectsStoppingBias) {
+  // Under the stop-at-r-failures (negative binomial) rule, failures/trials
+  // is biased high; (failures-1)/(trials-1) is the unbiased estimator.
+  FailureCounter c;
+  c.trials = 21;
+  c.failures = 5;
+  EXPECT_DOUBLE_EQ(c.rate_unbiased(), c.rate());  // no early stop: plain rate
+  c.stopped_early = true;
+  EXPECT_DOUBLE_EQ(c.rate_unbiased(), 4.0 / 20.0);
+  // Degenerate cases fall back to rate() instead of dividing by zero.
+  FailureCounter d;
+  d.trials = 1;
+  d.failures = 1;
+  d.stopped_early = true;
+  EXPECT_DOUBLE_EQ(d.rate_unbiased(), 1.0);
+}
+
+TEST(Stats, FailureCounterJsonRoundTrip) {
+  FailureCounter c;
+  c.trials = 40;
+  c.failures = 4;
+  c.stopped_early = true;
+  const auto v = c.to_json_value();
+  EXPECT_EQ(v.at("trials").as_u64(), 40u);
+  EXPECT_EQ(v.at("failures").as_u64(), 4u);
+  EXPECT_DOUBLE_EQ(v.at("rate").as_double(), 0.1);
+  EXPECT_DOUBLE_EQ(v.at("rate_unbiased").as_double(), 3.0 / 39.0);
+  EXPECT_TRUE(v.at("stopped_early").as_bool());
+  const auto iv = c.interval();
+  EXPECT_DOUBLE_EQ(v.at("wilson_low").as_double(), iv.low);
+  EXPECT_DOUBLE_EQ(v.at("wilson_high").as_double(), iv.high);
 }
 
 }  // namespace

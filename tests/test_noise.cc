@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "circuit/circuit.h"
 #include "circuit/execute.h"
@@ -128,6 +130,7 @@ TEST(MonteCarlo, UntilStopsAtFailureBudget) {
   const auto c = run_trials_until(100000, 7, 3, trial);
   EXPECT_EQ(c.failures, 7u);
   EXPECT_EQ(c.trials, 7u);
+  EXPECT_TRUE(c.stopped_early);
 }
 
 TEST(MonteCarlo, UntilRunsOutOfTrials) {
@@ -135,6 +138,82 @@ TEST(MonteCarlo, UntilRunsOutOfTrials) {
   const auto c = run_trials_until(50, 3, 3, trial);
   EXPECT_EQ(c.trials, 50u);
   EXPECT_EQ(c.failures, 0u);
+  EXPECT_FALSE(c.stopped_early);
+}
+
+// The CI determinism gate: a worker pool must not change any reported
+// number.  Per-trial streams are counter-split from (seed, index), and
+// shard counters merge by order-free sums, so every jobs value produces a
+// byte-identical FailureCounter (compared via the deterministic JSON dump).
+TEST(MonteCarlo, ParallelByteIdenticalToSerial) {
+  auto trial = [](Rng& rng) {
+    // Consume a varying amount of the stream so trials are not trivially
+    // symmetric under reordering.
+    const int draws = 1 + static_cast<int>(rng.below(5));
+    bool fail = false;
+    for (int i = 0; i < draws; ++i) fail = rng.bernoulli(0.23);
+    return fail;
+  };
+  const auto serial = run_trials(1000, 77, trial, 1);
+  for (unsigned jobs : {2u, 8u}) {
+    const auto parallel = run_trials(1000, 77, trial, jobs);
+    EXPECT_EQ(serial.to_json_value().dump(), parallel.to_json_value().dump())
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(MonteCarlo, UntilParallelMatchesSerial) {
+  // Early stopping must also be jobs-invariant: the parallel driver
+  // speculates ahead but commits outcomes in index order.
+  auto trial = [](Rng& rng) { return rng.bernoulli(0.05); };
+  const auto serial = run_trials_until(5000, 11, 123, trial, 1);
+  for (unsigned jobs : {2u, 8u}) {
+    const auto parallel = run_trials_until(5000, 11, 123, trial, jobs);
+    EXPECT_EQ(serial.to_json_value().dump(), parallel.to_json_value().dump())
+        << "jobs=" << jobs;
+  }
+}
+
+// Regression for the sequential-master-RNG bug: trial i's outcome is a pure
+// function of (seed, i) — invariant to how many trials run and how many
+// workers run them.
+TEST(MonteCarlo, TrialOutcomeInvariantToTrialCountAndJobs) {
+  auto outcome_map = [](std::uint64_t trials, unsigned jobs) {
+    std::vector<int> out(static_cast<std::size_t>(trials), -1);
+    std::mutex mu;
+    run_trials_indexed(
+        trials, 5,
+        [&](std::uint64_t i, Rng& rng) {
+          const bool fail = rng.bernoulli(0.4);
+          std::lock_guard<std::mutex> lock(mu);
+          out[static_cast<std::size_t>(i)] = fail ? 1 : 0;
+          return fail;
+        },
+        jobs);
+    return out;
+  };
+  const auto base = outcome_map(64, 1);
+  const auto longer = outcome_map(256, 1);
+  for (std::size_t i = 0; i < base.size(); ++i)
+    EXPECT_EQ(base[i], longer[i]) << "trial " << i
+                                  << " changed with the trial count";
+  for (unsigned jobs : {2u, 8u}) {
+    const auto par = outcome_map(256, jobs);
+    EXPECT_EQ(longer, par) << "jobs=" << jobs;
+  }
+}
+
+TEST(MonteCarlo, TrialValuesOrderedAndJobsInvariant) {
+  auto trial = [](std::uint64_t i, Rng& rng) {
+    return static_cast<double>(i) + rng.uniform();
+  };
+  const auto serial = run_trial_values(100, 9, trial, 1);
+  ASSERT_EQ(serial.size(), 100u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_GE(serial[i], static_cast<double>(i));
+    EXPECT_LT(serial[i], static_cast<double>(i) + 1.0);
+  }
+  EXPECT_EQ(serial, run_trial_values(100, 9, trial, 4));
 }
 
 // Property: injected error count over a known number of sites follows the

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/assert.h"
 #include "common/rng.h"
@@ -224,6 +225,71 @@ TEST(StateVector, SubsystemFidelityOnEntangledHalfIsBelowOne) {
   sv.apply_cnot(0, 1);
   const double inv = 1 / std::sqrt(2.0);
   EXPECT_NEAR(sv.subsystem_fidelity({0}, {inv, inv}), 0.5, kEps);
+}
+
+// Generic single-qubit update, written out longhand as the oracle for the
+// specialized kernels (apply1's shape dispatch, apply_h, apply_x).
+StateVector reference_apply1(const StateVector& in, std::size_t q,
+                             const Mat2& u) {
+  std::vector<cplx> amp(in.dim());
+  for (std::uint64_t i = 0; i < in.dim(); ++i) amp[i] = in.amplitude(i);
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  for (std::uint64_t i = 0; i < in.dim(); ++i) {
+    if (i & bit) continue;
+    const cplx a0 = amp[i], a1 = amp[i | bit];
+    amp[i] = u(0, 0) * a0 + u(0, 1) * a1;
+    amp[i | bit] = u(1, 0) * a0 + u(1, 1) * a1;
+  }
+  return StateVector::from_amplitudes(std::move(amp));
+}
+
+StateVector random_state(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<cplx> amp(std::uint64_t{1} << n);
+  double norm2 = 0;
+  for (auto& a : amp) {
+    a = cplx{rng.uniform() - 0.5, rng.uniform() - 0.5};
+    norm2 += std::norm(a);
+  }
+  for (auto& a : amp) a /= std::sqrt(norm2);
+  return StateVector::from_amplitudes(std::move(amp));
+}
+
+TEST(StateVector, SpecializedKernelsMatchGenericUpdate) {
+  // Every library gate that apply1 routes to a specialized kernel
+  // (diagonal, anti-diagonal, H, X) must agree with the longhand generic
+  // update on a dense random state, on every qubit position.
+  const Mat2 gates[] = {gate_i(), gate_x(),   gate_y(), gate_z(),
+                        gate_h(), gate_s(),   gate_sdg(), gate_t(),
+                        gate_tdg(), gate_rz(0.7), gate_phase(0.4),
+                        gate_rx(1.1)};
+  for (std::size_t q = 0; q < 4; ++q) {
+    int g = 0;
+    for (const Mat2& u : gates) {
+      StateVector sv = random_state(4, 17 + q);
+      const StateVector want = reference_apply1(sv, q, u);
+      sv.apply1(q, u);
+      for (std::uint64_t i = 0; i < sv.dim(); ++i)
+        EXPECT_NEAR(std::abs(sv.amplitude(i) - want.amplitude(i)), 0.0, kEps)
+            << "gate " << g << " qubit " << q << " basis " << i;
+      ++g;
+    }
+  }
+}
+
+TEST(StateVector, DedicatedHAndXKernelsMatchApply1) {
+  for (std::size_t q = 0; q < 3; ++q) {
+    StateVector a = random_state(3, 5 + q);
+    StateVector b = a;
+    a.apply_h(q);
+    b.apply1(q, gate_h());
+    for (std::uint64_t i = 0; i < a.dim(); ++i)
+      EXPECT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0.0, kEps);
+    a.apply_x(q);
+    b.apply1(q, gate_x());
+    for (std::uint64_t i = 0; i < a.dim(); ++i)
+      EXPECT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0.0, kEps);
+  }
 }
 
 TEST(StateVector, GhzExpectations) {

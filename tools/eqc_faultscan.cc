@@ -404,17 +404,20 @@ int run(const Options& opt) {
   }
 
   if (opt.mc_trials > 0) {
-    std::printf("\nMonte-Carlo at p = %g (%llu trials)...\n", opt.mc_p,
-                static_cast<unsigned long long>(opt.mc_trials));
+    std::printf("\nMonte-Carlo at p = %g (%llu trials, %u jobs)...\n",
+                opt.mc_p, static_cast<unsigned long long>(opt.mc_trials),
+                opt.jobs);
     const auto counter = noise::run_trials(
-        opt.mc_trials, opt.seed, [&](Rng& rng) {
+        opt.mc_trials, opt.seed,
+        [&](Rng& rng) {
           circuit::TabBackend backend(ex.num_qubits, rng.split());
           circuit::execute(ex.prep, backend);
           noise::StochasticInjector injector(
               noise::NoiseModel::paper_model(opt.mc_p), rng.split());
           const auto result = circuit::execute(ex.gadget, backend, &injector);
           return ex.failed(backend, result);
-        });
+        },
+        opt.jobs);
     const auto iv = counter.interval();
     std::printf("  failure rate %.5f  [wilson 95%%: %.5f, %.5f]\n",
                 counter.rate(), iv.low, iv.high);
