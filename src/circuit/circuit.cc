@@ -127,6 +127,36 @@ Circuit& Circuit::append(const Circuit& other) {
   return *this;
 }
 
+Circuit inverse(const Circuit& c) {
+  Circuit inv(c.num_qubits());
+  const auto& ops = c.ops();
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    const Op& op = *it;
+    switch (op.kind) {
+      case OpKind::H: inv.h(op.q[0]); break;
+      case OpKind::X: inv.x(op.q[0]); break;
+      case OpKind::Y: inv.y(op.q[0]); break;
+      case OpKind::Z: inv.z(op.q[0]); break;
+      case OpKind::S: inv.sdg(op.q[0]); break;
+      case OpKind::Sdg: inv.s(op.q[0]); break;
+      case OpKind::T: inv.tdg(op.q[0]); break;
+      case OpKind::Tdg: inv.t(op.q[0]); break;
+      case OpKind::CNOT: inv.cnot(op.q[0], op.q[1]); break;
+      case OpKind::CZ: inv.cz(op.q[0], op.q[1]); break;
+      case OpKind::CS: inv.csdg(op.q[0], op.q[1]); break;
+      case OpKind::CSdg: inv.cs(op.q[0], op.q[1]); break;
+      case OpKind::Swap: inv.swap(op.q[0], op.q[1]); break;
+      case OpKind::CCX: inv.ccx(op.q[0], op.q[1], op.q[2]); break;
+      case OpKind::CCZ: inv.ccz(op.q[0], op.q[1], op.q[2]); break;
+      default:
+        throw ContractViolation(
+            "inverse(): circuit contains a non-unitary op: " +
+            std::string(name(op.kind)));
+    }
+  }
+  return inv;
+}
+
 std::string Circuit::to_string() const {
   std::ostringstream os;
   for (const Op& op : ops_) {

@@ -83,4 +83,10 @@ class Circuit {
   std::vector<ClassicalFunc> funcs_;
 };
 
+/// The inverse of a purely unitary circuit: each gate replaced by its
+/// adjoint, in reverse order.  Throws ContractViolation on preparations,
+/// measurements, idles, or classically controlled ops (not invertible /
+/// not unitary).  `c` followed by `inverse(c)` is the identity channel.
+Circuit inverse(const Circuit& c);
+
 }  // namespace eqc::circuit

@@ -14,7 +14,10 @@
 
 namespace eqc::circuit {
 
-class TabBackend final : public Backend {
+// Not `final`: src/testing fuzzes the backend pair by subclassing this with
+// deliberately wrong gate implementations (planted bugs) and checking that
+// the differential oracle flags them.
+class TabBackend : public Backend {
  public:
   TabBackend(std::size_t num_qubits, Rng rng)
       : tab_(num_qubits), rng_(rng) {}

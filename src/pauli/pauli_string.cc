@@ -214,6 +214,13 @@ PauliString PauliString::random_single(std::size_t num_qubits,
   return single(num_qubits, qubit, kChoices[rng.below(3)]);
 }
 
+PauliString PauliString::random(std::size_t num_qubits, Rng& rng) {
+  PauliString p(num_qubits);
+  for (std::size_t q = 0; q < num_qubits; ++q)
+    p.set(q, static_cast<Pauli>(rng.below(4)));
+  return p;
+}
+
 std::string PauliString::to_string() const {
   std::string out(n_, 'I');
   for (std::size_t q = 0; q < n_; ++q) out[q] = to_char(get(q));

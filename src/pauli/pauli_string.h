@@ -78,6 +78,9 @@ class PauliString {
   static PauliString random_single(std::size_t num_qubits, std::size_t qubit,
                                    Rng& rng);
 
+  /// Uniformly random n-qubit Pauli label string (phase 0; may be identity).
+  static PauliString random(std::size_t num_qubits, Rng& rng);
+
   std::string to_string() const;  ///< labels only, e.g. "XIZY"
 
   friend bool operator==(const PauliString& a, const PauliString& b);

@@ -262,6 +262,21 @@ bool StateVector::measure(std::size_t q, Rng& rng) {
   return outcome;
 }
 
+double StateVector::project_z(std::size_t q, bool outcome) {
+  EQC_EXPECTS(q < n_);
+  const double p1 = prob_one(q);
+  const double prob = outcome ? p1 : 1.0 - p1;
+  EQC_CHECK(prob > 0.0);
+  const double scale = 1.0 / std::sqrt(prob);
+  const std::uint64_t b = std::uint64_t{1} << q;
+  const std::uint64_t d = dim();
+  for (std::uint64_t i = 0; i < d; ++i) {
+    const bool bit_set = (i & b) != 0;
+    amp_[i] = (bit_set == outcome) ? amp_[i] * scale : cplx{0, 0};
+  }
+  return prob;
+}
+
 void StateVector::reset(std::size_t q, Rng& rng) {
   // Flip back to |0>: X on a collapsed qubit.
   if (measure(q, rng)) apply_x(q);

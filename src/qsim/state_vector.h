@@ -78,6 +78,12 @@ class StateVector {
   double expectation_z(std::size_t q) const;
   /// Projective Z measurement with collapse; returns the outcome.
   bool measure(std::size_t q, Rng& rng);
+  /// Forced-outcome collapse: projects qubit q onto `outcome` and
+  /// renormalizes, returning the pre-projection probability of that outcome.
+  /// Throws when the outcome has (numerically) zero probability.  This is
+  /// the primitive that lets a differential oracle replay another backend's
+  /// measurement record on a state vector without sharing an RNG stream.
+  double project_z(std::size_t q, bool outcome);
   /// Discard-and-replace: measures q (outcome unobserved) and re-prepares
   /// |0>.  Physically equivalent to swapping in a fresh ancilla when the old
   /// qubit is never used again.

@@ -1,0 +1,87 @@
+#include "testing/circuit_edit.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace eqc::testing {
+
+using circuit::Circuit;
+using circuit::Op;
+using circuit::OpKind;
+
+void append_op(Circuit& c, const Op& op) {
+  switch (op.kind) {
+    case OpKind::PrepZ: c.prep_z(op.q[0]); break;
+    case OpKind::PrepX: c.prep_x(op.q[0]); break;
+    case OpKind::H: c.h(op.q[0]); break;
+    case OpKind::X: c.x(op.q[0]); break;
+    case OpKind::Y: c.y(op.q[0]); break;
+    case OpKind::Z: c.z(op.q[0]); break;
+    case OpKind::S: c.s(op.q[0]); break;
+    case OpKind::Sdg: c.sdg(op.q[0]); break;
+    case OpKind::T: c.t(op.q[0]); break;
+    case OpKind::Tdg: c.tdg(op.q[0]); break;
+    case OpKind::CNOT: c.cnot(op.q[0], op.q[1]); break;
+    case OpKind::CZ: c.cz(op.q[0], op.q[1]); break;
+    case OpKind::CS: c.cs(op.q[0], op.q[1]); break;
+    case OpKind::CSdg: c.csdg(op.q[0], op.q[1]); break;
+    case OpKind::Swap: c.swap(op.q[0], op.q[1]); break;
+    case OpKind::CCX: c.ccx(op.q[0], op.q[1], op.q[2]); break;
+    case OpKind::CCZ: c.ccz(op.q[0], op.q[1], op.q[2]); break;
+    case OpKind::MeasureZ: c.measure_z(op.q[0]); break;
+    case OpKind::Idle: c.idle(op.q[0]); break;
+    default:
+      throw ContractViolation(
+          "testing::append_op: classically controlled ops are not supported");
+  }
+}
+
+Circuit keep_ops(const Circuit& c, const std::vector<bool>& keep) {
+  EQC_EXPECTS(keep.size() == c.size());
+  Circuit out(c.num_qubits());
+  for (std::size_t i = 0; i < keep.size(); ++i)
+    if (keep[i]) append_op(out, c.ops()[i]);
+  return out;
+}
+
+Circuit with_op_order(const Circuit& c, const std::vector<std::size_t>& order) {
+  EQC_EXPECTS(order.size() == c.size());
+  Circuit out(c.num_qubits());
+  std::vector<bool> seen(c.size(), false);
+  for (std::size_t idx : order) {
+    EQC_EXPECTS(idx < c.size() && !seen[idx]);
+    seen[idx] = true;
+    append_op(out, c.ops()[idx]);
+  }
+  return out;
+}
+
+Circuit relabel_qubits(const Circuit& c,
+                       const std::vector<std::uint32_t>& perm) {
+  EQC_EXPECTS(perm.size() == c.num_qubits());
+  Circuit out(c.num_qubits());
+  for (Op op : c.ops()) {
+    for (int k = 0; k < circuit::arity(op.kind); ++k) op.q[k] = perm.at(op.q[k]);
+    append_op(out, op);
+  }
+  return out;
+}
+
+Circuit compact_qubits(const Circuit& c) {
+  std::vector<bool> used(c.num_qubits(), false);
+  for (const Op& op : c.ops())
+    for (int k = 0; k < circuit::arity(op.kind); ++k) used[op.q[k]] = true;
+  std::vector<std::uint32_t> map(c.num_qubits(), 0);
+  std::uint32_t next = 0;
+  for (std::size_t q = 0; q < used.size(); ++q)
+    if (used[q]) map[q] = next++;
+  Circuit out(std::max<std::uint32_t>(next, 1));
+  for (Op op : c.ops()) {
+    for (int k = 0; k < circuit::arity(op.kind); ++k) op.q[k] = map[op.q[k]];
+    append_op(out, op);
+  }
+  return out;
+}
+
+}  // namespace eqc::testing

@@ -1,0 +1,39 @@
+// Circuit surgery for fuzzing: rebuild a circuit from an op subset, a new
+// op order, or a qubit relabeling.  All functions re-emit ops through the
+// Circuit builder, so measurement slots are renumbered in (new) program
+// order — consistent as long as the consumer re-runs an oracle on the
+// edited circuit rather than reusing slot indices from the original.
+//
+// Classically controlled ops (the *IfC family) are rejected: their condition
+// closures cannot be cloned faithfully, and the generator never emits them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace eqc::testing {
+
+/// Appends `op` to `c` through the builder API (throws on *IfC ops).
+void append_op(circuit::Circuit& c, const circuit::Op& op);
+
+/// The subcircuit keeping exactly the ops with keep[i] == true.
+circuit::Circuit keep_ops(const circuit::Circuit& c,
+                          const std::vector<bool>& keep);
+
+/// The circuit with ops emitted in `order` (a permutation of [0, size)).
+circuit::Circuit with_op_order(const circuit::Circuit& c,
+                               const std::vector<std::size_t>& order);
+
+/// The circuit with qubit q renamed to perm[q] (perm is a permutation of
+/// [0, num_qubits)).
+circuit::Circuit relabel_qubits(const circuit::Circuit& c,
+                                const std::vector<std::uint32_t>& perm);
+
+/// Drops unused qubits and renumbers the used ones densely (preserving
+/// order); the result has max(1, #used) qubits.  Used to present shrunken
+/// counterexamples on the smallest possible register.
+circuit::Circuit compact_qubits(const circuit::Circuit& c);
+
+}  // namespace eqc::testing

@@ -1,0 +1,197 @@
+#include "testing/circuit_gen.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace eqc::testing {
+
+const char* to_string(GateSet gs) {
+  switch (gs) {
+    case GateSet::Clifford: return "clifford";
+    case GateSet::CliffordCC: return "clifford-cc";
+    case GateSet::CliffordT: return "clifford-t";
+  }
+  return "?";
+}
+
+GateSet gate_set_from_string(const std::string& name) {
+  if (name == "clifford") return GateSet::Clifford;
+  if (name == "clifford-cc") return GateSet::CliffordCC;
+  if (name == "clifford-t") return GateSet::CliffordT;
+  throw ContractViolation("unknown gate set: " + name);
+}
+
+CircuitGen::CircuitGen(CircuitGenOptions opt) : opt_(opt) {
+  EQC_EXPECTS(opt_.qubits >= 2);
+  EQC_EXPECTS(opt_.depth > 0);
+  if (opt_.gate_set == GateSet::CliffordCC) {
+    // Keep at least two quantum qubits (2-qubit gates need a pair) and at
+    // least one classical ancilla (otherwise no CC gate can be emitted).
+    opt_.classical_ancillas =
+        std::clamp<std::size_t>(opt_.classical_ancillas, 1,
+                                opt_.qubits > 2 ? opt_.qubits - 2 : 1);
+    EQC_EXPECTS(opt_.qubits >= opt_.classical_ancillas + 2);
+    quantum_qubits_ = opt_.qubits - opt_.classical_ancillas;
+  } else {
+    quantum_qubits_ = opt_.qubits;
+  }
+}
+
+namespace {
+
+/// Uniform draw from [lo, hi) distinct from `taken` (requires >= 2 choices).
+std::uint32_t distinct_below(Rng& rng, std::size_t lo, std::size_t hi,
+                             std::uint32_t taken) {
+  auto q = static_cast<std::uint32_t>(lo + rng.below(hi - lo));
+  while (q == taken) q = static_cast<std::uint32_t>(lo + rng.below(hi - lo));
+  return q;
+}
+
+void emit_clifford(circuit::Circuit& c, Rng& rng, std::size_t lo,
+                   std::size_t hi) {
+  const auto q = static_cast<std::uint32_t>(lo + rng.below(hi - lo));
+  switch (rng.below(9)) {
+    case 0: c.h(q); break;
+    case 1: c.s(q); break;
+    case 2: c.sdg(q); break;
+    case 3: c.x(q); break;
+    case 4: c.y(q); break;
+    case 5: c.z(q); break;
+    case 6: c.cnot(q, distinct_below(rng, lo, hi, q)); break;
+    case 7: c.cz(q, distinct_below(rng, lo, hi, q)); break;
+    case 8: c.swap(q, distinct_below(rng, lo, hi, q)); break;
+  }
+}
+
+}  // namespace
+
+circuit::Circuit CircuitGen::generate(Rng& rng) const {
+  circuit::Circuit c(opt_.qubits);
+  const std::size_t nq = quantum_qubits_;  // quantum region = [0, nq)
+  const std::size_t n = opt_.qubits;
+
+  for (std::size_t g = 0; g < opt_.depth; ++g) {
+    // Non-unitary slots first so the same draw sequence drives every gate
+    // set identically up to the menu switch.
+    if (opt_.measure_prob > 0 && rng.bernoulli(opt_.measure_prob)) {
+      c.measure_z(static_cast<std::uint32_t>(rng.below(n)));
+      continue;
+    }
+    if (opt_.prep_prob > 0 && rng.bernoulli(opt_.prep_prob)) {
+      c.prep_z(static_cast<std::uint32_t>(rng.below(n)));
+      continue;
+    }
+    switch (opt_.gate_set) {
+      case GateSet::Clifford:
+        emit_clifford(c, rng, 0, n);
+        break;
+      case GateSet::CliffordT:
+        switch (rng.below(3)) {
+          case 0:
+            emit_clifford(c, rng, 0, n);
+            break;
+          case 1: {
+            const auto q = static_cast<std::uint32_t>(rng.below(n));
+            if (rng.below(2) == 0)
+              c.t(q);
+            else
+              c.tdg(q);
+            break;
+          }
+          case 2: {
+            const auto q = static_cast<std::uint32_t>(rng.below(n));
+            const auto q2 = distinct_below(rng, 0, n, q);
+            switch (rng.below(4)) {
+              case 0: c.cs(q, q2); break;
+              case 1: c.csdg(q, q2); break;
+              case 2: {
+                if (n >= 3) {
+                  auto q3 = distinct_below(rng, 0, n, q);
+                  while (q3 == q2) q3 = distinct_below(rng, 0, n, q);
+                  c.ccx(q, q2, q3);
+                } else {
+                  c.cs(q, q2);
+                }
+                break;
+              }
+              case 3: {
+                if (n >= 3) {
+                  auto q3 = distinct_below(rng, 0, n, q);
+                  while (q3 == q2) q3 = distinct_below(rng, 0, n, q);
+                  c.ccz(q, q2, q3);
+                } else {
+                  c.csdg(q, q2);
+                }
+                break;
+              }
+            }
+            break;
+          }
+        }
+        break;
+      case GateSet::CliffordCC: {
+        // Half the slots act on the quantum region; the other half exercise
+        // the classical-ancilla machinery (classical reversible logic plus
+        // classically-controlled non-Clifford gates — the lowering paths).
+        if (rng.below(2) == 0) {
+          emit_clifford(c, rng, 0, nq);
+          break;
+        }
+        const auto cls = [&] {  // a classical ancilla
+          return static_cast<std::uint32_t>(nq + rng.below(n - nq));
+        };
+        const auto qnt = [&] {  // a quantum qubit
+          return static_cast<std::uint32_t>(rng.below(nq));
+        };
+        switch (rng.below(6)) {
+          case 0:
+            c.x(cls());
+            break;
+          case 1: {  // classical-classical CNOT (keeps both deterministic)
+            if (n - nq >= 2) {
+              const auto a = cls();
+              c.cnot(a, distinct_below(rng, nq, n, a));
+            } else {
+              c.x(cls());
+            }
+            break;
+          }
+          case 2: {  // CCX, both controls classical, quantum target
+            if (n - nq >= 2) {
+              const auto a = cls();
+              c.ccx(a, distinct_below(rng, nq, n, a), qnt());
+            } else {
+              c.cnot(cls(), qnt());
+            }
+            break;
+          }
+          case 3: {  // CCZ with one classical participant, quantum pair
+            const auto a = qnt();
+            c.ccz(a, distinct_below(rng, 0, nq, a), cls());
+            break;
+          }
+          case 4:
+            c.cs(cls(), qnt());
+            break;
+          case 5:
+            c.csdg(cls(), qnt());
+            break;
+        }
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+circuit::Circuit random_clifford_circuit(std::size_t qubits, int gates,
+                                         Rng& rng) {
+  CircuitGenOptions opt;
+  opt.gate_set = GateSet::Clifford;
+  opt.qubits = qubits;
+  opt.depth = static_cast<std::size_t>(gates);
+  return CircuitGen(opt).generate(rng);
+}
+
+}  // namespace eqc::testing

@@ -1,0 +1,71 @@
+// Seeded random circuit generation for the differential / metamorphic
+// fuzzing harness.
+//
+// Three gate sets, matched to what each backend can execute:
+//  * Clifford      — H/S/Sdg/X/Y/Z/CNOT/CZ/SWAP; runs on both backends.
+//  * CliffordCC    — Clifford plus CCX/CCZ/CS/CSdg whose controls are drawn
+//    from a reserved register of CLASSICAL ancillas (qubits kept in a
+//    deterministic Z-basis state by construction: they only ever receive
+//    X, classical-classical CNOT, and classical-controlled gates).  This is
+//    exactly the paper's Sec. 5 classical-ancilla regime, so TabBackend's
+//    lowering is guaranteed to apply and the circuit still runs on both
+//    backends.
+//  * CliffordT     — Clifford plus T/Tdg/CS/CSdg/CCX/CCZ on arbitrary
+//    qubits; state-vector only (used for sv-side metamorphic self-checks).
+//
+// Generation is a pure function of the supplied Rng stream, so every fuzz
+// trial is replayable from (master seed, trial index).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+
+namespace eqc::testing {
+
+enum class GateSet { Clifford, CliffordCC, CliffordT };
+
+const char* to_string(GateSet gs);
+/// Parses "clifford" / "clifford-cc" / "clifford-t"; throws on anything else.
+GateSet gate_set_from_string(const std::string& name);
+
+struct CircuitGenOptions {
+  GateSet gate_set = GateSet::Clifford;
+  /// Total register width, classical ancillas included.
+  std::size_t qubits = 5;
+  /// Number of ops to emit (measurements included).
+  std::size_t depth = 40;
+  /// CliffordCC only: trailing qubits reserved as classical ancillas
+  /// (clamped so at least two quantum qubits remain).
+  std::size_t classical_ancillas = 2;
+  /// Probability that an op slot becomes a Z measurement (0 = unitary-only).
+  double measure_prob = 0.0;
+  /// Probability that an op slot becomes a |0> re-preparation.  Only
+  /// meaningful when measure_prob > 0 (both are non-unitary).
+  double prep_prob = 0.0;
+};
+
+class CircuitGen {
+ public:
+  explicit CircuitGen(CircuitGenOptions opt);
+
+  const CircuitGenOptions& options() const { return opt_; }
+
+  /// Emits one random circuit; consumes `rng` deterministically.
+  circuit::Circuit generate(Rng& rng) const;
+
+ private:
+  CircuitGenOptions opt_;
+  std::size_t quantum_qubits_;  ///< qubits [0, quantum_qubits_) are quantum
+};
+
+/// The shared random-Clifford helper previously duplicated across test
+/// files: `gates` uniform draws from {H,S,Sdg,X,Y,Z,CNOT,CZ,SWAP} on
+/// `qubits` qubits.  Equivalent to CircuitGen with GateSet::Clifford and
+/// measure_prob = 0.
+circuit::Circuit random_clifford_circuit(std::size_t qubits, int gates,
+                                         Rng& rng);
+
+}  // namespace eqc::testing

@@ -1,0 +1,71 @@
+#include "testing/circuit_json.h"
+
+#include <map>
+#include <string>
+
+#include "common/assert.h"
+#include "testing/circuit_edit.h"
+
+namespace eqc::testing {
+
+using circuit::Circuit;
+using circuit::Op;
+using circuit::OpKind;
+
+namespace {
+
+const std::map<std::string, OpKind>& kind_by_name() {
+  static const auto* m = [] {
+    auto* out = new std::map<std::string, OpKind>;
+    for (int k = 0; k <= static_cast<int>(OpKind::Idle); ++k) {
+      const auto kind = static_cast<OpKind>(k);
+      if (circuit::is_classically_controlled(kind)) continue;
+      (*out)[std::string(circuit::name(kind))] = kind;
+    }
+    return out;
+  }();
+  return *m;
+}
+
+}  // namespace
+
+json::Value circuit_to_json(const Circuit& c) {
+  json::Array ops;
+  for (const Op& op : c.ops()) {
+    if (circuit::is_classically_controlled(op.kind))
+      throw ContractViolation(
+          "circuit_to_json: classically controlled ops are not serializable");
+    json::Array entry;
+    entry.emplace_back(std::string(circuit::name(op.kind)));
+    for (int k = 0; k < circuit::arity(op.kind); ++k)
+      entry.emplace_back(static_cast<std::uint64_t>(op.q[k]));
+    ops.emplace_back(std::move(entry));
+  }
+  json::Object obj;
+  obj.emplace_back("qubits", static_cast<std::uint64_t>(c.num_qubits()));
+  obj.emplace_back("ops", std::move(ops));
+  return json::Value(std::move(obj));
+}
+
+Circuit circuit_from_json(const json::Value& v) {
+  const std::size_t qubits = v.at("qubits").as_u64();
+  Circuit c(qubits);
+  for (const auto& entry : v.at("ops").as_array()) {
+    const auto& arr = entry.as_array();
+    EQC_EXPECTS(!arr.empty());
+    const auto it = kind_by_name().find(arr[0].as_string());
+    if (it == kind_by_name().end())
+      throw ContractViolation("circuit_from_json: unknown op name: " +
+                              arr[0].as_string());
+    Op op;
+    op.kind = it->second;
+    const int a = circuit::arity(op.kind);
+    EQC_EXPECTS(static_cast<int>(arr.size()) == a + 1);
+    for (int k = 0; k < a; ++k)
+      op.q[k] = static_cast<std::uint32_t>(arr[k + 1].as_u64());
+    append_op(c, op);
+  }
+  return c;
+}
+
+}  // namespace eqc::testing

@@ -1,0 +1,20 @@
+// JSON (de)serialization of circuits for replayable fuzz artifacts.
+//
+// Format (deterministic, insertion-ordered):
+//   {"qubits": 3, "ops": [["H",0], ["CNOT",0,1], ["MZ",2]]}
+//
+// Measurement slots are implied by op order (the builder allocates them
+// sequentially), so a round-trip reproduces the circuit exactly.  The
+// classically controlled *IfC ops are not representable (their condition is
+// an arbitrary closure) and are rejected on serialization.
+#pragma once
+
+#include "circuit/circuit.h"
+#include "common/json.h"
+
+namespace eqc::testing {
+
+json::Value circuit_to_json(const circuit::Circuit& c);
+circuit::Circuit circuit_from_json(const json::Value& v);
+
+}  // namespace eqc::testing

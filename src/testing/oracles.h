@@ -1,0 +1,142 @@
+// Differential and metamorphic correctness oracles.
+//
+// DIFFERENTIAL — runs one circuit through the dense state vector (ground
+// truth) and the CHP tableau (the scalable backend) in lock-step and
+// compares, after every op:
+//   * per-qubit <Z> within tolerance;
+//   * measurement semantics: a tableau-deterministic measurement must have
+//     sv probability ~ 1 for the same outcome, a tableau-random one must
+//     have sv probability ~ 1/2 (stabilizer states admit nothing else) —
+//     this is the ensemble-expectation agreement the paper's overlap regime
+//     demands;
+//   * post-measurement consistency: the sv state is collapsed onto the
+//     tableau's recorded outcome (StateVector::project_z), so both
+//     trajectories stay comparable after random collapse;
+//   * at the end, every stabilizer generator claimed by the tableau must
+//     stabilize the dense state (catches phase bugs that per-qubit <Z>
+//     cannot see, e.g. S vs Sdg).
+//
+// METAMORPHIC — need no second backend:
+//   * append-inverse:    C . C^{-1} acts as identity on |0...0>;
+//   * pauli-frame:       P then C  ==  C then (C P C^dagger)  (Clifford);
+//   * schedule-reorder:  executing the ASAP-scheduled op order equals the
+//                        program order (observational equivalence);
+//   * relabel:           conjugation by a qubit permutation commutes with
+//                        execution.
+//
+// All oracles return OracleResult rather than asserting, so the fuzz driver
+// can shrink failing circuits and emit replay artifacts.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "circuit/circuit.h"
+#include "circuit/sv_backend.h"
+#include "circuit/tab_backend.h"
+#include "pauli/pauli_string.h"
+#include "qsim/state_vector.h"
+
+namespace eqc::testing {
+
+struct OracleResult {
+  bool ok = true;
+  /// Deterministic human-readable failure description (empty when ok).
+  std::string detail;
+};
+
+/// Constructs a fresh backend for `num_qubits` seeded with `seed`.
+using BackendFactory = std::function<std::unique_ptr<circuit::Backend>(
+    std::size_t num_qubits, std::uint64_t seed)>;
+
+// --- planted bugs -----------------------------------------------------------
+
+/// Deliberate tableau-backend defects used to validate that the harness
+/// actually finds and shrinks real bugs (fuzzing the fuzzer).
+enum class PlantedBug {
+  None,
+  SInverted,     ///< s() applies S^dagger (inverted phase)
+  CnotReversed,  ///< cnot(c,t) applies cnot(t,c)
+  CzDropped,     ///< cz() is silently skipped
+  CczWrongPair,  ///< ccz lowering applies CZ to a pair including the control
+};
+
+const char* to_string(PlantedBug bug);
+PlantedBug bug_from_string(const std::string& name);
+
+/// TabBackend with a planted defect (PlantedBug::None = faithful).
+class BuggyTabBackend : public circuit::TabBackend {
+ public:
+  BuggyTabBackend(std::size_t num_qubits, Rng rng, PlantedBug bug)
+      : TabBackend(num_qubits, rng), bug_(bug) {}
+
+  void s(std::size_t q) override;
+  void cnot(std::size_t c, std::size_t t) override;
+  void cz(std::size_t a, std::size_t b) override;
+  void ccx(std::size_t c0, std::size_t c1, std::size_t t) override;
+  void ccz(std::size_t a, std::size_t b, std::size_t c) override;
+
+ private:
+  PlantedBug bug_;
+};
+
+BackendFactory sv_factory();
+BackendFactory tab_factory(PlantedBug bug = PlantedBug::None);
+
+// --- helpers ----------------------------------------------------------------
+
+/// <psi| P |psi> on a dense state.
+cplx dense_expectation(const qsim::StateVector& sv,
+                       const pauli::PauliString& p);
+
+/// Heisenberg propagation of `p` through the Clifford circuit: returns
+/// U p U^dagger for U the whole circuit (phase-exact).  Throws on any op
+/// outside {H,S,Sdg,X,Y,Z,CNOT,CZ,SWAP}.
+pauli::PauliString conjugate_through(const circuit::Circuit& c,
+                                     pauli::PauliString p);
+
+// --- oracles ----------------------------------------------------------------
+
+/// Differential check of `subject` (a tableau-side factory) against a dense
+/// state vector, per the header comment.  The circuit may contain
+/// measurements and preparations; classically controlled ops are rejected.
+OracleResult check_differential(const circuit::Circuit& c, std::uint64_t seed,
+                                const BackendFactory& subject,
+                                double tol = 1e-7);
+
+/// C . inverse(C) == identity on |0...0>: every <Z_q> must be +1.
+/// Unitary circuits only.
+OracleResult check_append_inverse(const circuit::Circuit& c,
+                                  std::uint64_t seed,
+                                  const BackendFactory& factory,
+                                  double tol = 1e-7);
+
+/// Pauli-frame commutation: apply_pauli(P); run(C) must equal run(C);
+/// apply_pauli(C P C^dagger).  Clifford unitary circuits only.
+OracleResult check_pauli_frame(const circuit::Circuit& c, std::uint64_t seed,
+                               const BackendFactory& factory,
+                               double tol = 1e-7);
+
+/// Executing ops in ASAP-schedule order equals program order.  Unitary
+/// circuits only (measurement outcomes are order-sensitive through the RNG).
+OracleResult check_schedule_reorder(const circuit::Circuit& c,
+                                    std::uint64_t seed,
+                                    const BackendFactory& factory,
+                                    double tol = 1e-7);
+
+/// Qubit-relabeling invariance; valid with measurements (same seed, same
+/// draw sequence).  Compares cbits exactly and <Z> through the permutation.
+OracleResult check_relabel(const circuit::Circuit& c, std::uint64_t seed,
+                           const BackendFactory& factory, double tol = 1e-7);
+
+/// Runs the oracle registered under `name` ("differential",
+/// "append-inverse-sv", "append-inverse-tab", "pauli-frame-sv",
+/// "pauli-frame-tab", "schedule-reorder-sv", "schedule-reorder-tab",
+/// "relabel-sv", "relabel-tab").  `bug` decorates the tableau side only.
+/// Throws on an unknown name.
+OracleResult run_named_oracle(const std::string& name,
+                              const circuit::Circuit& c, std::uint64_t seed,
+                              double tol, PlantedBug bug = PlantedBug::None);
+
+}  // namespace eqc::testing

@@ -1,0 +1,60 @@
+#include "testing/shrink.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "testing/circuit_edit.h"
+
+namespace eqc::testing {
+
+using circuit::Circuit;
+
+Circuit shrink_circuit(Circuit c, const FailPredicate& fails) {
+  EQC_EXPECTS(fails(c));
+
+  // Phase 1: chunked removal, halving the chunk until single ops.  Each
+  // accepted removal restarts at the same granularity (classic ddmin).
+  for (std::size_t chunk = std::max<std::size_t>(c.size() / 2, 1); chunk >= 1;
+       chunk /= 2) {
+    bool removed = true;
+    while (removed && c.size() > 1) {
+      removed = false;
+      for (std::size_t start = 0; start < c.size(); start += chunk) {
+        const std::size_t end = std::min(start + chunk, c.size());
+        if (end - start == c.size()) continue;  // never empty the circuit
+        std::vector<bool> keep(c.size(), true);
+        for (std::size_t i = start; i < end; ++i) keep[i] = false;
+        Circuit candidate = keep_ops(c, keep);
+        if (fails(candidate)) {
+          c = std::move(candidate);
+          removed = true;
+          break;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+
+  // Phase 2: 1-minimality — no single remaining op is removable.  (Phase 1
+  // with chunk == 1 already guarantees this; kept as a cheap postcondition
+  // against future edits of the loop above.)
+  for (std::size_t i = 0; i < c.size() && c.size() > 1; ++i) {
+    std::vector<bool> keep(c.size(), true);
+    keep[i] = false;
+    Circuit candidate = keep_ops(c, keep);
+    if (fails(candidate)) {
+      c = std::move(candidate);
+      i = static_cast<std::size_t>(-1);  // restart
+    }
+  }
+
+  // Phase 3: drop unused qubits when the failure survives compaction.
+  Circuit compacted = compact_qubits(c);
+  if (compacted.num_qubits() < c.num_qubits() && fails(compacted))
+    c = std::move(compacted);
+
+  EQC_ENSURES(fails(c));
+  return c;
+}
+
+}  // namespace eqc::testing

@@ -1,0 +1,26 @@
+// Counterexample shrinking for failing fuzz circuits.
+//
+// Same contract as analysis::shrink_fault_set (the campaign engine's
+// delta-debugger), lifted from fault sets to op sequences: given a circuit
+// that fails a deterministic predicate, repeatedly remove op chunks
+// (halving, ddmin-style), then single ops, until the result is 1-MINIMAL —
+// removing any single remaining op makes the failure disappear.  Finally
+// unused qubits are compacted away when the predicate still fails on the
+// smaller register.
+#pragma once
+
+#include <functional>
+
+#include "circuit/circuit.h"
+
+namespace eqc::testing {
+
+/// Deterministic failure predicate: true iff the candidate still fails.
+using FailPredicate = std::function<bool(const circuit::Circuit&)>;
+
+/// Shrinks `c` to a 1-minimal failing subsequence (precondition: fails(c)).
+/// Every candidate is validated through `fails`, so the result is failing
+/// by construction.
+circuit::Circuit shrink_circuit(circuit::Circuit c, const FailPredicate& fails);
+
+}  // namespace eqc::testing

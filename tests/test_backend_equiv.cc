@@ -1,0 +1,258 @@
+// Targeted cross-backend equivalence tests: the TabBackend's CCX/CCZ/CS/CSdg
+// classical-control lowering edge cases, checked gate-by-gate against the
+// dense state vector, plus expectation_z semantics through mid-circuit
+// measurement collapse.  These pin down by hand the corners the fuzz harness
+// (tools/eqc_fuzz) sweeps randomly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.h"
+#include "circuit/execute.h"
+#include "circuit/sv_backend.h"
+#include "circuit/tab_backend.h"
+#include "common/assert.h"
+#include "common/rng.h"
+#include "testing/oracles.h"
+
+namespace eqc {
+namespace {
+
+using circuit::Circuit;
+using circuit::SvBackend;
+using circuit::TabBackend;
+
+constexpr double kEps = 1e-9;
+
+// Runs `c` through both backends and compares every per-qubit <Z>, plus the
+// tableau's claimed stabilizers against the dense state.
+void expect_backends_agree(const Circuit& c, std::uint64_t seed = 1) {
+  SvBackend sv(c.num_qubits(), Rng(seed));
+  TabBackend tab(c.num_qubits(), Rng(seed + 1));
+  circuit::execute(c, sv);
+  circuit::execute(c, tab);
+  for (std::size_t q = 0; q < c.num_qubits(); ++q)
+    EXPECT_NEAR(sv.expectation_z(q), tab.expectation_z(q), kEps)
+        << "qubit " << q;
+  for (std::size_t i = 0; i < c.num_qubits(); ++i) {
+    const auto g = tab.tableau().stabilizer(i);
+    const auto e = testing::dense_expectation(sv.state(), g);
+    EXPECT_NEAR(e.real(), 1.0, 1e-8) << "stabilizer " << i;
+    EXPECT_NEAR(e.imag(), 0.0, 1e-8) << "stabilizer " << i;
+  }
+}
+
+// --- CCX lowering ---------------------------------------------------------
+
+TEST(CcxLowering, BothControlsClassicalZero) {
+  // Controls |00>: CCX is the identity on the target (even in superposition).
+  Circuit c(3);
+  c.h(2);
+  c.ccx(0, 1, 2);
+  c.h(2);  // H . I . H = I, so qubit 2 must return to |0>
+  expect_backends_agree(c);
+  TabBackend tab(3, Rng(1));
+  circuit::execute(c, tab);
+  EXPECT_EQ(tab.expectation_z(2), 1.0);
+}
+
+TEST(CcxLowering, BothControlsClassicalOne) {
+  // Controls |11>: CCX acts as X on the target.
+  Circuit c(3);
+  c.x(0);
+  c.x(1);
+  c.ccx(0, 1, 2);
+  expect_backends_agree(c);
+  TabBackend tab(3, Rng(1));
+  circuit::execute(c, tab);
+  EXPECT_EQ(tab.expectation_z(2), -1.0);
+}
+
+TEST(CcxLowering, MixedClassicalAndSuperposedControl) {
+  // Control 0 classical-|1>, control 1 in superposition: CCX lowers to
+  // CNOT(1 -> target), producing a Bell pair on qubits {1, 2}.
+  Circuit c(3);
+  c.x(0);
+  c.h(1);
+  c.ccx(0, 1, 2);
+  expect_backends_agree(c);
+
+  // And with the classical control at |0>, the superposed control is
+  // irrelevant: identity on the target.
+  Circuit c0(3);
+  c0.h(1);
+  c0.ccx(0, 1, 2);
+  expect_backends_agree(c0);
+  TabBackend tab(3, Rng(1));
+  circuit::execute(c0, tab);
+  EXPECT_EQ(tab.expectation_z(2), 1.0);
+}
+
+TEST(CcxLowering, ThrowsWhenBothControlsSuperposed) {
+  TabBackend tab(3, Rng(1));
+  tab.h(0);
+  tab.h(1);
+  EXPECT_THROW(tab.ccx(0, 1, 2), ContractViolation);
+}
+
+// --- CCZ lowering ---------------------------------------------------------
+
+TEST(CczLowering, ClassicalParticipantOne) {
+  // One participant classical-|1>: CCZ lowers to CZ on the other two.
+  Circuit c(3);
+  c.x(0);
+  c.h(1);
+  c.h(2);
+  c.ccz(0, 1, 2);
+  c.h(2);  // CZ after H/H is CNOT-like entanglement; compare both backends
+  expect_backends_agree(c);
+}
+
+TEST(CczLowering, ClassicalParticipantZero) {
+  // One participant classical-|0>: CCZ is the identity.
+  Circuit c(3);
+  c.h(1);
+  c.h(2);
+  c.ccz(0, 1, 2);
+  expect_backends_agree(c);
+}
+
+TEST(CczLowering, AnyPositionLowers) {
+  // CCZ is symmetric: the classical participant may sit in any slot.
+  for (int pos = 0; pos < 3; ++pos) {
+    Circuit c(3);
+    c.x(static_cast<std::uint32_t>(pos));
+    for (std::uint32_t q = 0; q < 3; ++q)
+      if (static_cast<int>(q) != pos) c.h(q);
+    c.ccz(0, 1, 2);
+    expect_backends_agree(c, 7 + static_cast<std::uint64_t>(pos));
+  }
+}
+
+TEST(CczLowering, ThrowsWhenAllParticipantsSuperposed) {
+  TabBackend tab(3, Rng(1));
+  tab.h(0);
+  tab.h(1);
+  tab.h(2);
+  EXPECT_THROW(tab.ccz(0, 1, 2), ContractViolation);
+}
+
+// --- CS / CSdg ------------------------------------------------------------
+
+TEST(ControlledPhase, CsClassicalControlOne) {
+  // Control |1>: CS acts as S on the target.  S|+> has <Z> = 0 but definite
+  // stabilizer Y; the stabilizer cross-check distinguishes S from Sdg.
+  Circuit c(2);
+  c.x(0);
+  c.h(1);
+  c.cs(0, 1);
+  expect_backends_agree(c);
+
+  Circuit cdg(2);
+  cdg.x(0);
+  cdg.h(1);
+  cdg.csdg(0, 1);
+  expect_backends_agree(cdg);
+}
+
+TEST(ControlledPhase, CsClassicalControlZeroIsIdentity) {
+  Circuit c(2);
+  c.h(1);
+  c.cs(0, 1);
+  c.h(1);
+  expect_backends_agree(c);
+  TabBackend tab(2, Rng(1));
+  circuit::execute(c, tab);
+  EXPECT_EQ(tab.expectation_z(1), 1.0);
+}
+
+TEST(ControlledPhase, CsAndCsdgCancel) {
+  Circuit c(2);
+  c.x(0);
+  c.h(1);
+  c.cs(0, 1);
+  c.csdg(0, 1);
+  c.h(1);  // net identity on qubit 1
+  expect_backends_agree(c);
+  TabBackend tab(2, Rng(1));
+  circuit::execute(c, tab);
+  EXPECT_EQ(tab.expectation_z(1), 1.0);
+}
+
+TEST(ControlledPhase, ThrowsOnSuperposedControl) {
+  TabBackend tab(2, Rng(1));
+  tab.h(0);
+  EXPECT_THROW(tab.cs(0, 1), ContractViolation);
+  EXPECT_THROW(tab.csdg(0, 1), ContractViolation);
+}
+
+// On the state vector CS is exact (no lowering): |11> picks up phase i.
+TEST(ControlledPhase, SvCsPhaseIsExact) {
+  SvBackend sv(2, Rng(1));
+  sv.x(0);
+  sv.x(1);
+  sv.cs(0, 1);
+  const auto& amp = sv.state().amplitudes();
+  EXPECT_NEAR(std::abs(amp[3] - cplx{0.0, 1.0}), 0.0, kEps);
+}
+
+// --- expectation_z across mid-circuit measurement collapse ----------------
+
+TEST(MeasureCollapse, ExpectationTracksCollapseOnBothBackends) {
+  // Bell pair, measure one half: the other half must collapse to the same
+  // value, and expectation_z must report it deterministically (+-1).
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    SvBackend sv(2, Rng(seed));
+    sv.h(0);
+    sv.cnot(0, 1);
+    const bool m = sv.measure_z(0);
+    const double want = m ? -1.0 : 1.0;
+    EXPECT_NEAR(sv.expectation_z(0), want, kEps);
+    EXPECT_NEAR(sv.expectation_z(1), want, kEps);
+
+    TabBackend tab(2, Rng(seed));
+    tab.h(0);
+    tab.cnot(0, 1);
+    const bool mt = tab.measure_z(0);
+    const double want_t = mt ? -1.0 : 1.0;
+    EXPECT_EQ(tab.expectation_z(0), want_t);
+    EXPECT_EQ(tab.expectation_z(1), want_t);
+  }
+}
+
+TEST(MeasureCollapse, RemeasureIsDeterministic) {
+  // After collapse, re-measuring yields the same outcome and <Z> is frozen.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SvBackend sv(1, Rng(seed));
+    sv.h(0);
+    const bool first = sv.measure_z(0);
+    EXPECT_EQ(sv.measure_z(0), first);
+    EXPECT_NEAR(sv.expectation_z(0), first ? -1.0 : 1.0, kEps);
+
+    TabBackend tab(1, Rng(seed ^ 0xBEEF));
+    tab.h(0);
+    const bool tfirst = tab.measure_z(0);
+    EXPECT_EQ(tab.measure_z(0), tfirst);
+    EXPECT_EQ(tab.expectation_z(0), tfirst ? -1.0 : 1.0);
+  }
+}
+
+TEST(MeasureCollapse, PartialEntanglementLeavesOtherQubitFree) {
+  // |+>|+>: measuring qubit 0 must not disturb qubit 1's <Z> = 0.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SvBackend sv(2, Rng(seed));
+    sv.h(0);
+    sv.h(1);
+    (void)sv.measure_z(0);
+    EXPECT_NEAR(sv.expectation_z(1), 0.0, kEps);
+
+    TabBackend tab(2, Rng(seed));
+    tab.h(0);
+    tab.h(1);
+    (void)tab.measure_z(0);
+    EXPECT_EQ(tab.expectation_z(1), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace eqc

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "pauli/pauli_string.h"
 #include "qsim/gates.h"
+#include "testing/circuit_gen.h"
 
 namespace eqc {
 namespace {
@@ -24,25 +25,7 @@ using circuit::Circuit;
 using circuit::OpKind;
 using pauli::Pauli;
 using pauli::PauliString;
-
-Circuit random_clifford_circuit(std::size_t qubits, int gates, Rng& rng) {
-  Circuit c(qubits);
-  for (int g = 0; g < gates; ++g) {
-    const auto q = static_cast<std::uint32_t>(rng.below(qubits));
-    auto q2 = static_cast<std::uint32_t>(rng.below(qubits));
-    while (q2 == q) q2 = static_cast<std::uint32_t>(rng.below(qubits));
-    switch (rng.below(7)) {
-      case 0: c.h(q); break;
-      case 1: c.s(q); break;
-      case 2: c.sdg(q); break;
-      case 3: c.x(q); break;
-      case 4: c.z(q); break;
-      case 5: c.cnot(q, q2); break;
-      case 6: c.cz(q, q2); break;
-    }
-  }
-  return c;
-}
+using testing::random_clifford_circuit;
 
 // Scheduling must not change semantics: a circuit executed through the
 // moment-based executor equals gate-by-gate application on a state vector.
@@ -63,9 +46,11 @@ TEST_P(ScheduleSemantics, ExecutorMatchesDirectApplication) {
       case OpKind::S: direct.apply1(op.q[0], qsim::gate_s()); break;
       case OpKind::Sdg: direct.apply1(op.q[0], qsim::gate_sdg()); break;
       case OpKind::X: direct.apply1(op.q[0], qsim::gate_x()); break;
+      case OpKind::Y: direct.apply1(op.q[0], qsim::gate_y()); break;
       case OpKind::Z: direct.apply1(op.q[0], qsim::gate_z()); break;
       case OpKind::CNOT: direct.apply_cnot(op.q[0], op.q[1]); break;
       case OpKind::CZ: direct.apply_cz(op.q[0], op.q[1]); break;
+      case OpKind::Swap: direct.apply_swap(op.q[0], op.q[1]); break;
       default: FAIL() << "unexpected op";
     }
   }

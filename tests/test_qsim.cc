@@ -304,5 +304,47 @@ TEST(StateVector, GhzExpectations) {
   for (std::size_t q = 1; q < 4; ++q) EXPECT_EQ(sv.measure(q, rng), m0);
 }
 
+TEST(StateVector, ProjectZForcesOutcomeAndReturnsProbability) {
+  // |+>: both outcomes have probability 1/2; projection collapses fully.
+  for (const bool outcome : {false, true}) {
+    StateVector sv(1);
+    sv.apply1(0, gate_h());
+    EXPECT_NEAR(sv.project_z(0, outcome), 0.5, kEps);
+    EXPECT_NEAR(sv.expectation_z(0), outcome ? -1.0 : 1.0, kEps);
+    EXPECT_NEAR(sv.norm(), 1.0, kEps);
+  }
+}
+
+TEST(StateVector, ProjectZOnBellCollapsesPartner) {
+  StateVector sv(2);
+  sv.apply1(0, gate_h());
+  sv.apply_cnot(0, 1);
+  EXPECT_NEAR(sv.project_z(0, true), 0.5, kEps);
+  // The entangled partner collapses to the same value.
+  EXPECT_NEAR(sv.expectation_z(1), -1.0, kEps);
+  // Re-projecting onto the recorded outcome is now certain.
+  EXPECT_NEAR(sv.project_z(1, true), 1.0, kEps);
+}
+
+TEST(StateVector, ProjectZRejectsImpossibleOutcome) {
+  // |0>: outcome 1 has probability zero — the forced collapse must refuse
+  // rather than divide by zero.
+  StateVector sv(1);
+  EXPECT_THROW(sv.project_z(0, true), ContractViolation);
+}
+
+TEST(StateVector, ProjectZMatchesMeasureDistribution) {
+  // project_z's returned probability equals the Born probability that
+  // measure() samples from (biased state via partial rotation).
+  StateVector sv(2);
+  sv.apply1(0, gate_h());
+  sv.apply1(0, gate_s());
+  sv.apply1(0, gate_h());  // HSH biases P(1) away from 1/2
+  const double p1 = sv.prob_one(0);
+  StateVector copy = sv;
+  EXPECT_NEAR(copy.project_z(0, true), p1, kEps);
+  EXPECT_NEAR(sv.project_z(0, false), 1.0 - p1, kEps);
+}
+
 }  // namespace
 }  // namespace eqc::qsim

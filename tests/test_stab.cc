@@ -13,6 +13,7 @@
 #include "qsim/gates.h"
 #include "qsim/state_vector.h"
 #include "stab/tableau.h"
+#include "testing/circuit_gen.h"
 
 namespace eqc::stab {
 namespace {
@@ -178,19 +179,25 @@ TEST_P(CrossValidation, TableauMatchesStateVector) {
   Tableau tab(param.qubits);
   StateVector sv(param.qubits);
 
-  for (int g = 0; g < param.gates; ++g) {
-    const std::size_t q = rng.below(param.qubits);
-    std::size_t q2 = rng.below(param.qubits);
-    while (q2 == q) q2 = rng.below(param.qubits);
-    switch (rng.below(8)) {
-      case 0: tab.h(q); sv.apply1(q, qsim::gate_h()); break;
-      case 1: tab.s(q); sv.apply1(q, qsim::gate_s()); break;
-      case 2: tab.sdg(q); sv.apply1(q, qsim::gate_sdg()); break;
-      case 3: tab.x(q); sv.apply1(q, qsim::gate_x()); break;
-      case 4: tab.y(q); sv.apply1(q, qsim::gate_y()); break;
-      case 5: tab.z(q); sv.apply1(q, qsim::gate_z()); break;
-      case 6: tab.cnot(q, q2); sv.apply_cnot(q, q2); break;
-      case 7: tab.cz(q, q2); sv.apply_cz(q, q2); break;
+  // Shared fuzz-harness generator (src/testing), applied to both
+  // representations op by op.
+  const auto c =
+      testing::random_clifford_circuit(param.qubits, param.gates, rng);
+  for (const auto& op : c.ops()) {
+    const std::size_t q = op.q[0];
+    const std::size_t q2 = op.q[1];
+    switch (op.kind) {
+      case circuit::OpKind::H: tab.h(q); sv.apply1(q, qsim::gate_h()); break;
+      case circuit::OpKind::S: tab.s(q); sv.apply1(q, qsim::gate_s()); break;
+      case circuit::OpKind::Sdg:
+        tab.sdg(q); sv.apply1(q, qsim::gate_sdg()); break;
+      case circuit::OpKind::X: tab.x(q); sv.apply1(q, qsim::gate_x()); break;
+      case circuit::OpKind::Y: tab.y(q); sv.apply1(q, qsim::gate_y()); break;
+      case circuit::OpKind::Z: tab.z(q); sv.apply1(q, qsim::gate_z()); break;
+      case circuit::OpKind::CNOT: tab.cnot(q, q2); sv.apply_cnot(q, q2); break;
+      case circuit::OpKind::CZ: tab.cz(q, q2); sv.apply_cz(q, q2); break;
+      case circuit::OpKind::Swap: tab.swap(q, q2); sv.apply_swap(q, q2); break;
+      default: FAIL() << "unexpected op in Clifford gate set";
     }
   }
 

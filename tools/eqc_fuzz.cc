@@ -1,0 +1,202 @@
+// eqc_fuzz — cross-backend differential + metamorphic fuzzing of the
+// simulator pair (dense state vector vs CHP stabilizer tableau).
+//
+// Usage:
+//   eqc_fuzz [options]
+//
+// Options:
+//   --gateset G       clifford | clifford-cc | clifford-t  (default clifford)
+//   --qubits N        register width (default 5)
+//   --depth D         op-slot budget per generated circuit (default 40)
+//   --seed S          master seed (default 1)
+//   --trials T        number of trials (default 200)
+//   --jobs N          worker threads; never changes the report (default 1)
+//   --time-budget SEC wall-clock cap; 0 = none.  A time-boxed run is the
+//                     only mode whose report is not byte-reproducible.
+//   --measure-prob P  per-slot measurement probability in the measured
+//                     circuit (default 0.15; 0 disables measured trials)
+//   --tol T           comparison tolerance (default 1e-7)
+//   --no-shrink       skip delta-debugging of failing circuits
+//   --plant-bug B     none | s-inverted | cnot-reversed | cz-dropped |
+//                     ccz-wrong-pair — deliberately defective tableau
+//                     backend (harness self-test)
+//   --json OUT        write the full JSON report to OUT
+//   --corpus DIR      write one JSON artifact + regression snippet per
+//                     failure into DIR (must exist)
+//   --replay FILE     replay one failure artifact; exit 0 iff it still fails
+//
+// Exit status: 0 = no failures (or replay reproduced), 1 = failures found
+// (or replay did NOT reproduce), 2 = usage / runtime error.
+//
+// Examples:
+//   eqc_fuzz --gateset clifford-cc --trials 500 --jobs 4
+//   eqc_fuzz --plant-bug s-inverted --trials 50 --corpus corpus/
+//   eqc_fuzz --replay corpus/failure-0.json
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "testing/fuzz.h"
+
+using namespace eqc;
+
+namespace {
+
+struct Options {
+  testing::FuzzConfig cfg;
+  std::string json_out;
+  std::string corpus_dir;
+  std::string replay;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: eqc_fuzz [--gateset clifford|clifford-cc|clifford-t]\n"
+      "       [--qubits N] [--depth D] [--seed S] [--trials T] [--jobs N]\n"
+      "       [--time-budget SEC] [--measure-prob P] [--tol T] [--no-shrink]\n"
+      "       [--plant-bug B] [--json OUT] [--corpus DIR] [--replay FILE]\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        usage();
+      }
+      return argv[++i];
+    };
+    if (arg == "--gateset")
+      opt.cfg.gate_set = testing::gate_set_from_string(next("--gateset"));
+    else if (arg == "--qubits")
+      opt.cfg.qubits = std::strtoull(next("--qubits"), nullptr, 10);
+    else if (arg == "--depth")
+      opt.cfg.depth = std::strtoull(next("--depth"), nullptr, 10);
+    else if (arg == "--seed")
+      opt.cfg.seed = std::strtoull(next("--seed"), nullptr, 10);
+    else if (arg == "--trials")
+      opt.cfg.trials = std::strtoull(next("--trials"), nullptr, 10);
+    else if (arg == "--jobs")
+      opt.cfg.jobs = static_cast<unsigned>(std::atoi(next("--jobs")));
+    else if (arg == "--time-budget")
+      opt.cfg.time_budget_sec = std::atof(next("--time-budget"));
+    else if (arg == "--measure-prob")
+      opt.cfg.measure_prob = std::atof(next("--measure-prob"));
+    else if (arg == "--tol")
+      opt.cfg.tol = std::atof(next("--tol"));
+    else if (arg == "--no-shrink")
+      opt.cfg.shrink = false;
+    else if (arg == "--plant-bug")
+      opt.cfg.bug = testing::bug_from_string(next("--plant-bug"));
+    else if (arg == "--json")
+      opt.json_out = next("--json");
+    else if (arg == "--corpus")
+      opt.corpus_dir = next("--corpus");
+    else if (arg == "--replay")
+      opt.replay = next("--replay");
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+    }
+  }
+  return opt;
+}
+
+int run_replay(const Options& opt) {
+  std::ifstream in(opt.replay, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read artifact: %s\n", opt.replay.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto artifact =
+      testing::FailureArtifact::from_json(json::Value::parse(ss.str()));
+  std::printf("replaying %s oracle (gate set %s, seed %llu, bug %s) on a "
+              "%zu-qubit, %zu-op circuit...\n",
+              artifact.oracle.c_str(), artifact.gate_set.c_str(),
+              static_cast<unsigned long long>(artifact.oracle_seed),
+              artifact.bug.c_str(), artifact.circuit.num_qubits(),
+              artifact.circuit.size());
+  const bool reproduced = testing::replay_failure(artifact);
+  std::printf("replay: %s\n",
+              reproduced ? "fails (reproduced)" : "NO LONGER FAILS");
+  return reproduced ? 0 : 1;
+}
+
+void write_corpus(const testing::FuzzReport& report, const std::string& dir) {
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    const auto& f = report.failures[i];
+    const std::string base = dir + "/failure-" + std::to_string(i);
+    {
+      std::ofstream out(base + ".json", std::ios::binary | std::ios::trunc);
+      out << f.to_json_value().dump();
+    }
+    {
+      std::ofstream out(base + ".cc.txt", std::ios::binary | std::ios::trunc);
+      out << f.regression_snippet();
+    }
+  }
+  std::printf("corpus: %zu artifact(s) written to %s/\n",
+              report.failures.size(), dir.c_str());
+}
+
+int run(const Options& opt) {
+  if (!opt.replay.empty()) return run_replay(opt);
+
+  std::printf("eqc_fuzz: gate set %s, %zu qubits, depth %zu, %llu trials, "
+              "seed %llu, %u jobs%s\n",
+              to_string(opt.cfg.gate_set), opt.cfg.qubits, opt.cfg.depth,
+              static_cast<unsigned long long>(opt.cfg.trials),
+              static_cast<unsigned long long>(opt.cfg.seed), opt.cfg.jobs,
+              opt.cfg.bug == testing::PlantedBug::None
+                  ? ""
+                  : " [PLANTED BUG]");
+  const auto report = testing::run_fuzz(opt.cfg);
+
+  std::printf("%llu/%llu trials run%s, %llu oracle evaluations, "
+              "%zu failure(s)\n",
+              static_cast<unsigned long long>(report.trials_run),
+              static_cast<unsigned long long>(opt.cfg.trials),
+              report.time_limited ? " (time budget hit)" : "",
+              static_cast<unsigned long long>(report.oracle_runs),
+              report.failures.size());
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    const auto& f = report.failures[i];
+    std::printf("  #%zu %s (trial %llu): %zu ops (from %zu) on %zu qubits\n"
+                "      %s\n",
+                i, f.oracle.c_str(),
+                static_cast<unsigned long long>(f.trial), f.circuit.size(),
+                f.original_ops, f.circuit.num_qubits(), f.detail.c_str());
+  }
+
+  if (!opt.json_out.empty()) {
+    std::ofstream out(opt.json_out, std::ios::binary | std::ios::trunc);
+    out << report.to_json();
+    std::printf("report written to %s\n", opt.json_out.c_str());
+  }
+  if (!opt.corpus_dir.empty() && !report.failures.empty())
+    write_corpus(report, opt.corpus_dir);
+
+  return report.failures.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // parse() stays inside the try: bad --gateset / --plant-bug values throw
+  // and must exit 2, not terminate.
+  try {
+    return run(parse(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "eqc_fuzz: error: %s\n", e.what());
+    return 2;
+  }
+}
