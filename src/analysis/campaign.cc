@@ -11,6 +11,7 @@
 
 #include "circuit/tab_backend.h"
 #include "common/assert.h"
+#include "common/checkpoint.h"
 #include "common/parallel.h"
 
 namespace eqc::analysis {
@@ -201,10 +202,14 @@ json::Value fingerprint_json(const CampaignPlan& plan) {
   return json::Value(std::move(fp));
 }
 
+constexpr char kCheckpointKind[] = "eqc-campaign-checkpoint";
+constexpr std::uint64_t kCheckpointSchemaVersion = 2;
+
 std::string checkpoint_to_json(const CampaignPlan& plan,
                                const std::vector<ShardState>& shards) {
   json::Object doc;
-  doc.emplace_back("version", json::Value(1));
+  doc.emplace_back("kind", json::Value(kCheckpointKind));
+  doc.emplace_back("schema_version", json::Value(kCheckpointSchemaVersion));
   doc.emplace_back("fingerprint", fingerprint_json(plan));
   json::Array shard_arr;
   for (const auto& st : shards) {
@@ -229,54 +234,52 @@ std::string checkpoint_to_json(const CampaignPlan& plan,
   return json::Value(std::move(doc)).dump();
 }
 
-void write_file_atomically(const std::string& path,
-                           const std::string& content) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    EQC_CHECK(out.good());
-    out << content;
-    EQC_CHECK(out.good());
-  }
-  EQC_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0);
-}
-
-bool read_file(const std::string& path, std::string& content) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  content = ss.str();
-  return true;
-}
-
-/// Restores shard states from a checkpoint; throws ContractViolation on a
-/// fingerprint mismatch (the checkpoint belongs to a different campaign).
+/// Restores shard states from a checkpoint.  Throws CheckpointCorrupt when
+/// the document is truncated, unparseable or structurally damaged, and
+/// ContractViolation on a fingerprint mismatch (a well-formed checkpoint
+/// that belongs to a DIFFERENT campaign — operator error, not corruption).
 std::vector<ShardState> load_checkpoint(const CampaignPlan& plan,
                                         const std::string& text) {
-  const json::Value doc = json::Value::parse(text);
+  const json::Value doc =
+      parse_checkpoint_document(text, kCheckpointKind, kCheckpointSchemaVersion);
+  std::string got;
+  try {
+    got = doc.at("fingerprint").dump();
+  } catch (const json::JsonError& e) {
+    throw CheckpointCorrupt(std::string("campaign checkpoint: ") + e.what());
+  }
   const std::string want = fingerprint_json(plan).dump();
-  const std::string got = doc.at("fingerprint").dump();
   if (want != got)
     throw ContractViolation(
         "campaign checkpoint fingerprint mismatch:\n  checkpoint " + got +
         "\n  campaign   " + want);
 
-  std::vector<ShardState> shards(plan.num_shards);
-  const auto& shard_arr = doc.at("shards").as_array();
-  EQC_EXPECTS(shard_arr.size() == plan.num_shards);
-  for (std::size_t s = 0; s < shards.size(); ++s) {
-    shards[s].cursor = shard_arr[s].at("cursor").as_u64();
-    shards[s].counter.trials = shard_arr[s].at("tested").as_u64();
-    shards[s].counter.failures = shard_arr[s].at("malignant").as_u64();
-    if (const json::Value* se = shard_arr[s].find("stopped_early"))
-      shards[s].counter.stopped_early = se->as_bool();
+  try {
+    std::vector<ShardState> shards(plan.num_shards);
+    const auto& shard_arr = doc.at("shards").as_array();
+    if (shard_arr.size() != plan.num_shards)
+      throw CheckpointCorrupt("campaign checkpoint: shard count " +
+                              std::to_string(shard_arr.size()) +
+                              " != " + std::to_string(plan.num_shards));
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      shards[s].cursor = shard_arr[s].at("cursor").as_u64();
+      shards[s].counter.trials = shard_arr[s].at("tested").as_u64();
+      shards[s].counter.failures = shard_arr[s].at("malignant").as_u64();
+      if (const json::Value* se = shard_arr[s].find("stopped_early"))
+        shards[s].counter.stopped_early = se->as_bool();
+    }
+    for (const auto& m : doc.at("malignant_sets").as_array()) {
+      MalignantSet set = malignant_set_from_json(m, plan.ex->num_qubits);
+      shards[set.index % plan.num_shards].sets.push_back(std::move(set));
+    }
+    return shards;
+  } catch (const json::JsonError& e) {
+    // The envelope and fingerprint matched but the payload does not fit the
+    // schema: damaged, not foreign.
+    throw CheckpointCorrupt(std::string("campaign checkpoint: ") + e.what());
+  } catch (const ContractViolation& e) {
+    throw CheckpointCorrupt(std::string("campaign checkpoint: ") + e.what());
   }
-  for (const auto& m : doc.at("malignant_sets").as_array()) {
-    MalignantSet set = malignant_set_from_json(m, plan.ex->num_qubits);
-    shards[set.index % plan.num_shards].sets.push_back(std::move(set));
-  }
-  return shards;
 }
 
 }  // namespace
@@ -559,21 +562,44 @@ CampaignReport run_campaign(const FaultExperiment& ex,
   std::vector<ShardState> shards;
   if (cfg.resume && !cfg.checkpoint_path.empty()) {
     std::string text;
-    if (read_file(cfg.checkpoint_path, text))
-      shards = load_checkpoint(plan, text);
+    if (read_file(cfg.checkpoint_path, text)) {
+      try {
+        shards = load_checkpoint(plan, text);
+      } catch (const CheckpointCorrupt&) {
+        // A damaged checkpoint is recoverable when the caller says so:
+        // determinism guarantees a fresh start reaches the same final
+        // report, so quarantine the evidence and recount.
+        if (!cfg.fresh_on_corrupt) throw;
+        quarantine_corrupt_file(cfg.checkpoint_path);
+      }
+    }
   }
   if (shards.empty()) shards.assign(plan.num_shards, ShardState{});
 
   // --- the sweep. -----------------------------------------------------------
   std::mutex mu;                       // shard states + checkpoint cadence
-  std::uint64_t items_since_ckpt = 0;
+  std::uint64_t items_done = 0;        // stream positions consumed (all shards)
+  for (const auto& st : shards) items_done += st.cursor;
+  CheckpointCadence cadence(cfg.checkpoint_every,
+                            cfg.checkpoint_min_interval_sec);
   std::atomic<std::uint64_t> claimed{0};
-  std::atomic<bool> out_of_budget{false};
+  std::atomic<bool> halt{false};  // budget exhausted or stop requested
 
   auto checkpoint_locked = [&] {
     if (!cfg.checkpoint_path.empty())
       write_file_atomically(cfg.checkpoint_path,
                             checkpoint_to_json(plan, shards));
+  };
+  auto progress_locked = [&] {
+    if (!cfg.on_progress) return;
+    CampaignProgress p;
+    p.items_done = items_done;
+    p.total_items = plan.total_items;
+    for (const auto& st : shards) {
+      p.sets_tested += st.counter.trials;
+      p.malignant += st.counter.failures;
+    }
+    cfg.on_progress(p);
   };
 
   // Shard s owns stream positions s, s + S, s + 2S, ... (S = shards); the
@@ -582,13 +608,17 @@ CampaignReport run_campaign(const FaultExperiment& ex,
   auto process_shard = [&](unsigned s) {
     ShardState& st = shards[s];
     for (;;) {
-      if (out_of_budget.load()) return;
+      if (halt.load()) return;
+      if (cfg.stop != nullptr && cfg.stop->load(std::memory_order_relaxed)) {
+        halt.store(true);
+        return;
+      }
       const std::uint64_t pos =
           s + st.cursor * static_cast<std::uint64_t>(plan.num_shards);
       if (pos >= plan.total_items) return;
       if (cfg.max_items_this_run != 0 &&
           claimed.fetch_add(1) >= cfg.max_items_this_run) {
-        out_of_budget.store(true);
+        halt.store(true);
         return;
       }
 
@@ -611,11 +641,13 @@ CampaignReport run_campaign(const FaultExperiment& ex,
 
       std::lock_guard<std::mutex> lock(mu);
       ++st.cursor;
+      ++items_done;
       if (outcome.tested) st.counter.add(outcome.malignant);
       if (outcome.malignant) st.sets.push_back(std::move(found));
-      if (++items_since_ckpt >= cfg.checkpoint_every) {
-        items_since_ckpt = 0;
+      if (cadence.item_done()) {
         checkpoint_locked();
+        cadence.wrote();
+        progress_locked();
       }
     }
   };
@@ -625,7 +657,8 @@ CampaignReport run_campaign(const FaultExperiment& ex,
 
   {
     std::lock_guard<std::mutex> lock(mu);
-    checkpoint_locked();  // never lose a clean stop's progress
+    checkpoint_locked();  // never lose a clean (or cancelled) stop's progress
+    progress_locked();
   }
 
   // --- merge (deterministic: counters are sums, sets sort by position). ----

@@ -34,6 +34,7 @@
 //    violation to a fault-site ordinal.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -61,6 +62,16 @@ struct TripwireOptions {
   std::vector<std::size_t> probe_after;
 
   bool enabled() const { return static_cast<bool>(violated); }
+};
+
+/// Progress snapshot handed to CampaignConfig::on_progress (and useful to
+/// anything polling a checkpoint): stream positions consumed across all
+/// shards, the item-stream length, and the merged tested/malignant counts.
+struct CampaignProgress {
+  std::uint64_t items_done = 0;
+  std::uint64_t total_items = 0;
+  std::uint64_t sets_tested = 0;
+  std::uint64_t malignant = 0;
 };
 
 struct CampaignConfig {
@@ -95,6 +106,25 @@ struct CampaignConfig {
   /// Stop after this many items this run (0 = run to completion).  Used
   /// to bound a session and by tests to simulate a mid-campaign kill.
   std::uint64_t max_items_this_run = 0;
+  /// Wall-clock leg of the checkpoint cadence: when > 0, a checkpoint is
+  /// flushed at least every this many seconds even if fewer than
+  /// `checkpoint_every` items completed — a crash never loses more than
+  /// this window of work under slow shards.
+  double checkpoint_min_interval_sec = 0.0;
+  /// Cooperative cancellation: polled at item granularity by every worker.
+  /// When it becomes true the sweep stops claiming items, flushes a final
+  /// checkpoint and returns a report with complete = false — resuming from
+  /// the checkpoint later reaches the same final report as an
+  /// uninterrupted run.
+  const std::atomic<bool>* stop = nullptr;
+  /// Invoked (serialized, under the engine's internal lock — keep it
+  /// cheap) at checkpoint cadence and once at the end of the run.
+  std::function<void(const CampaignProgress&)> on_progress;
+  /// When resuming and the checkpoint file is damaged (CheckpointCorrupt),
+  /// quarantine it to "<path>.corrupt" and start fresh instead of
+  /// throwing.  Determinism makes the fallback safe: a fresh start reaches
+  /// the same final report.
+  bool fresh_on_corrupt = false;
   /// Optional invariant tripwire, evaluated while malignant sets are
   /// replayed for attribution.
   TripwireOptions tripwire;

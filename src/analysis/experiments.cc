@@ -1,0 +1,95 @@
+#include "analysis/experiments.h"
+
+#include "analysis/campaign.h"
+#include "common/assert.h"
+#include "ftqc/layout.h"
+#include "ftqc/ngate.h"
+#include "ftqc/recovery.h"
+
+namespace eqc::analysis {
+
+using codes::Block;
+using codes::Steane;
+
+namespace {
+
+BuiltGadget build_ngate(const GadgetSpec& spec) {
+  ftqc::Layout layout;
+  const Block source = layout.block();
+  auto anc = ftqc::allocate_ngate_ancillas(layout, spec.reps);
+  const auto out = layout.reg(7);
+
+  BuiltGadget built;
+  FaultExperiment& ex = built.ex;
+  ex.num_qubits = layout.total();
+  ex.prep = circuit::Circuit(layout.total());
+  Steane::append_encode_zero(ex.prep, source);
+  Steane::append_logical_x(ex.prep, source);
+  ex.gadget = circuit::Circuit(layout.total());
+  ftqc::NGateOptions nopt;
+  nopt.repetitions = spec.reps;
+  nopt.syndrome_check = spec.syndrome;
+  ftqc::append_ngate(ex.gadget, source, out, anc, nopt);
+  ex.failed = [out, source](circuit::TabBackend& b,
+                            const circuit::ExecResult&) {
+    int ones = 0;
+    for (auto q : out) ones += b.tableau().deterministic_z_value(q) ? 1 : 0;
+    if (2 * ones <= static_cast<int>(out.size())) return true;
+    Rng rng(3);
+    Steane::perfect_correct(b.tableau(), source, rng);
+    return Steane::logical_z_expectation(b.tableau(), source) != -1.0;
+  };
+  ex.seed = spec.seed;
+  built.main_block = source;
+  return built;
+}
+
+BuiltGadget build_recovery(const GadgetSpec& spec, bool measurement_free) {
+  ftqc::Layout layout;
+  const Block data = layout.block();
+  auto anc = ftqc::allocate_recovery_ancillas(layout);
+  BuiltGadget built;
+  FaultExperiment& ex = built.ex;
+  ex.num_qubits = layout.total();
+  ex.prep = circuit::Circuit(layout.total());
+  Steane::append_encode_zero(ex.prep, data);
+  ex.gadget = circuit::Circuit(layout.total());
+  ftqc::RecoveryOptions ropt;
+  ropt.measurement_free = measurement_free;
+  ftqc::RecoveryRoundMarks marks;
+  ftqc::append_recovery(ex.gadget, data, anc, ropt, &marks);
+  ex.failed = [data](circuit::TabBackend& b, const circuit::ExecResult&) {
+    Rng rng(5);
+    Steane::perfect_correct(b.tableau(), data, rng);
+    return Steane::logical_z_expectation(b.tableau(), data) != 1.0;
+  };
+  ex.seed = spec.seed;
+  built.main_block = data;
+  // Probe between syndrome rounds / after correction layers only: the
+  // recovery rounds are where codespace membership is the meaningful
+  // invariant ("is the data block still a codeword between rounds?").
+  built.probe_after =
+      probe_ordinals_for_op_boundaries(ex.gadget, marks.op_boundaries);
+  return built;
+}
+
+}  // namespace
+
+bool is_known_gadget(const std::string& name) {
+  return name == "ngate" || name == "recovery" || name == "recovery-measured";
+}
+
+BuiltGadget build_gadget_experiment(const GadgetSpec& spec) {
+  EQC_EXPECTS(is_known_gadget(spec.gadget));
+  BuiltGadget built;
+  if (spec.gadget == "ngate")
+    built = build_ngate(spec);
+  else if (spec.gadget == "recovery")
+    built = build_recovery(spec, true);
+  else
+    built = build_recovery(spec, false);
+  if (spec.correlated) built.ex.model = FaultModel::FullDepolarizing;
+  return built;
+}
+
+}  // namespace eqc::analysis

@@ -1,0 +1,45 @@
+// Named gadget fault experiments — the library's standard analysis targets
+// (the Fig. 1 N gate and the Sec. 5 recovery variants) built from a small
+// declarative spec, so every consumer (eqc_faultscan, the eqc_serve job
+// server, tests, benches) constructs byte-identical experiments from the
+// same description.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/fault_enum.h"
+#include "codes/steane.h"
+
+namespace eqc::analysis {
+
+/// Declarative description of a gadget fault experiment.  Serializes
+/// naturally (all fields are scalars), which is what makes campaign / MC
+/// job specs journal-able and their resumed runs reproducible.
+struct GadgetSpec {
+  /// "ngate" | "recovery" | "recovery-measured"
+  std::string gadget = "ngate";
+  int reps = 3;             ///< N-gate repetitions (1, 3, 5)
+  bool syndrome = true;     ///< N-gate Hamming check (ablation switch)
+  bool correlated = false;  ///< FullDepolarizing instead of the paper model
+  std::uint64_t seed = 1;   ///< experiment RNG seed
+};
+
+struct BuiltGadget {
+  FaultExperiment ex;
+  /// Data/source block, for codespace tripwires.
+  codes::Block main_block;
+  /// Preferred tripwire probe ordinals (round boundaries); empty = every
+  /// site.
+  std::vector<std::size_t> probe_after;
+};
+
+/// True for the gadget names build_gadget_experiment accepts.
+bool is_known_gadget(const std::string& name);
+
+/// Builds the named experiment.  Throws ContractViolation on an unknown
+/// gadget name.
+BuiltGadget build_gadget_experiment(const GadgetSpec& spec);
+
+}  // namespace eqc::analysis

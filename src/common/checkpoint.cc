@@ -1,0 +1,73 @@
+#include "common/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace eqc {
+
+void write_file_atomically(const std::string& path,
+                           const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    EQC_CHECK(out.good());
+    out << content;
+    out.flush();
+    EQC_CHECK(out.good());
+  }
+  EQC_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0);
+}
+
+bool read_file(const std::string& path, std::string& content) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  content = ss.str();
+  return true;
+}
+
+std::string quarantine_corrupt_file(const std::string& path) {
+  const std::string dest = path + ".corrupt";
+  if (std::rename(path.c_str(), dest.c_str()) != 0) return std::string();
+  return dest;
+}
+
+json::Value parse_checkpoint_document(const std::string& text,
+                                      const std::string& kind,
+                                      std::uint64_t schema_version) {
+  json::Value doc;
+  try {
+    doc = json::Value::parse(text);
+  } catch (const json::JsonError& e) {
+    throw CheckpointCorrupt("checkpoint is not valid JSON (truncated or "
+                            "corrupt): " +
+                            std::string(e.what()));
+  }
+  if (!doc.is_object())
+    throw CheckpointCorrupt("checkpoint document is not a JSON object");
+  const json::Value* got_kind = doc.find("kind");
+  if (got_kind == nullptr || !got_kind->is_string() ||
+      got_kind->as_string() != kind)
+    throw CheckpointCorrupt("checkpoint kind mismatch: expected \"" + kind +
+                            "\"");
+  const json::Value* version = doc.find("schema_version");
+  if (version == nullptr || !version->is_number())
+    throw CheckpointCorrupt("checkpoint has no schema_version");
+  std::uint64_t got = 0;
+  try {
+    got = version->as_u64();
+  } catch (const json::JsonError&) {
+    throw CheckpointCorrupt("checkpoint schema_version is not an integer");
+  }
+  if (got != schema_version)
+    throw CheckpointCorrupt(
+        "checkpoint schema_version mismatch: file has " + std::to_string(got) +
+        ", loader implements " + std::to_string(schema_version));
+  return doc;
+}
+
+}  // namespace eqc

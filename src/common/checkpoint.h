@@ -1,0 +1,102 @@
+// Crash-safe checkpoint plumbing shared by every resumable engine
+// (analysis/campaign, noise/monte_carlo, testing/fuzz, serve/*).
+//
+// A checkpoint is a single JSON document written ATOMICALLY (tmp file +
+// rename), so a reader never observes a torn write from a crash between
+// bytes — the file is either the previous complete document or the new
+// one.  What a reader CAN observe is damage from outside the process
+// (disk corruption, manual edits, a copy truncated in flight).  All
+// loaders therefore parse through parse_checkpoint_document, which
+// converts every malformed-input failure into the distinct
+// CheckpointCorrupt error — callers can tell "this checkpoint is damaged,
+// fall back to a fresh start" apart from "this checkpoint belongs to a
+// different run" (a fingerprint mismatch, ContractViolation) and from
+// programming errors.
+//
+// Every checkpoint document carries an envelope:
+//   { "kind": "<engine-specific string>", "schema_version": N, ... }
+// A kind or schema_version mismatch is corruption-by-construction: the
+// bytes cannot be interpreted under the schema the loader implements.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/json.h"
+
+namespace eqc {
+
+/// Thrown when a checkpoint (or journal) file cannot be interpreted:
+/// unparseable JSON, missing envelope, wrong kind, or a schema_version the
+/// loader does not implement.  Distinct from ContractViolation (fingerprint
+/// mismatch / API misuse) so callers can fall back to a fresh start on
+/// corruption while still failing loudly on operator error.
+class CheckpointCorrupt : public std::runtime_error {
+ public:
+  explicit CheckpointCorrupt(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Writes `content` to `path` via a same-directory temp file + rename, so
+/// readers (and a post-crash restart) see either the old bytes or the new
+/// bytes, never a prefix.  Flushes user-space buffers before the rename.
+void write_file_atomically(const std::string& path, const std::string& content);
+
+/// Reads a whole file; false when it cannot be opened.
+bool read_file(const std::string& path, std::string& content);
+
+/// Moves a damaged checkpoint aside to "<path>.corrupt" (best effort) so a
+/// fresh start does not silently overwrite the evidence.  Returns the
+/// quarantine path, or an empty string when nothing was moved.
+std::string quarantine_corrupt_file(const std::string& path);
+
+/// Parses one checkpoint document and validates its envelope.  Throws
+/// CheckpointCorrupt when `text` is not valid JSON, is not an object, or
+/// its "kind" / "schema_version" members are absent or mismatched.
+json::Value parse_checkpoint_document(const std::string& text,
+                                      const std::string& kind,
+                                      std::uint64_t schema_version);
+
+/// Checkpoint cadence: a write is due every `every_items` completed items
+/// OR — when `min_interval_sec > 0` — whenever that much wall time elapsed
+/// since the last write, whichever comes first.  The time leg bounds the
+/// work a crash can lose even when individual items are slow (a shard that
+/// takes seconds per item would otherwise stretch an item-count cadence
+/// into minutes of unjournaled progress).
+class CheckpointCadence {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CheckpointCadence(std::uint64_t every_items, double min_interval_sec,
+                    Clock::time_point now = Clock::now())
+      : every_items_(every_items == 0 ? 1 : every_items),
+        min_interval_sec_(min_interval_sec),
+        last_write_(now) {}
+
+  /// Records one completed item; true when a checkpoint is now due.
+  bool item_done(Clock::time_point now = Clock::now()) {
+    ++items_since_write_;
+    if (items_since_write_ >= every_items_) return true;
+    if (min_interval_sec_ > 0.0) {
+      const std::chrono::duration<double> dt = now - last_write_;
+      if (dt.count() >= min_interval_sec_) return true;
+    }
+    return false;
+  }
+
+  /// Resets both legs after a checkpoint write.
+  void wrote(Clock::time_point now = Clock::now()) {
+    items_since_write_ = 0;
+    last_write_ = now;
+  }
+
+ private:
+  std::uint64_t every_items_;
+  double min_interval_sec_;
+  std::uint64_t items_since_write_ = 0;
+  Clock::time_point last_write_;
+};
+
+}  // namespace eqc

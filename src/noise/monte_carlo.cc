@@ -82,6 +82,55 @@ std::vector<double> run_trial_values(
   return values;
 }
 
+McRunResult run_trials_resumable(
+    std::uint64_t trials, std::uint64_t seed,
+    const std::function<bool(std::uint64_t, Rng&)>& trial,
+    const McResumableOptions& opt) {
+  EQC_EXPECTS(trial != nullptr);
+  EQC_EXPECTS(opt.start_index <= trials);
+  const unsigned workers = parallel::resolve_jobs(opt.jobs);
+  const std::uint64_t block =
+      opt.block != 0
+          ? opt.block
+          : std::max<std::uint64_t>(
+                std::uint64_t{workers} * kShardsPerWorker, 64);
+
+  McRunResult res;
+  res.counter = opt.initial;
+  std::uint64_t next = opt.start_index;
+  std::vector<std::uint8_t> outcomes;
+  while (next < trials) {
+    if (opt.stop != nullptr && opt.stop->load(std::memory_order_relaxed)) {
+      res.next_index = next;
+      res.complete = false;
+      return res;
+    }
+    const std::uint64_t count = std::min(block, trials - next);
+    if (workers == 1) {
+      for (std::uint64_t j = 0; j < count; ++j) {
+        Rng trial_rng(derive_stream_seed(seed, next + j));
+        res.counter.add(trial(next + j, trial_rng));
+      }
+    } else {
+      outcomes.assign(static_cast<std::size_t>(count), 0);
+      parallel::for_each_shard(
+          static_cast<unsigned>(count), workers, [&](unsigned j) {
+            Rng trial_rng(derive_stream_seed(seed, next + j));
+            outcomes[j] = trial(next + j, trial_rng) ? 1 : 0;
+          });
+      // Fold in index order; sums are order-free, so this equals the
+      // serial loop exactly.
+      for (std::uint64_t j = 0; j < count; ++j)
+        res.counter.add(outcomes[j] != 0);
+    }
+    next += count;
+    if (opt.on_block) opt.on_block(McProgress{next, res.counter});
+  }
+  res.next_index = next;
+  res.complete = true;
+  return res;
+}
+
 FailureCounter run_trials_until(std::uint64_t max_trials,
                                 std::uint64_t max_failures, std::uint64_t seed,
                                 const std::function<bool(Rng&)>& trial,

@@ -14,6 +14,7 @@
 // is).  `jobs == 0` means one worker per hardware thread.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -58,5 +59,53 @@ FailureCounter run_trials_until(std::uint64_t max_trials,
                                 std::uint64_t max_failures, std::uint64_t seed,
                                 const std::function<bool(Rng&)>& trial,
                                 unsigned jobs = 1);
+
+/// Progress snapshot handed to McResumableOptions::on_block: every trial
+/// index below `next_index` is folded into `counter`.
+struct McProgress {
+  std::uint64_t next_index = 0;
+  FailureCounter counter;
+};
+
+/// Options for run_trials_resumable — the crash-safe/cancellable flavor of
+/// the indexed trial driver used by long-running services.
+struct McResumableOptions {
+  /// Worker threads (0 = one per hardware thread); never changes the
+  /// counter, only the wall clock.
+  unsigned jobs = 1;
+  /// First trial index of this run (resume point); indices below it are
+  /// assumed already folded into `initial`.
+  std::uint64_t start_index = 0;
+  /// Counter state at `start_index` (from a checkpoint).
+  FailureCounter initial{};
+  /// Trial indices evaluated per parallel block (0 = auto).  The block
+  /// size bounds both the progress-callback cadence and the work discarded
+  /// on cancellation; it never changes the counter.
+  std::uint64_t block = 0;
+  /// Cooperative cancellation, polled between blocks.
+  const std::atomic<bool>* stop = nullptr;
+  /// Invoked after each completed block (from the calling thread) — the
+  /// checkpoint hook: persisting (next_index, counter) makes the run
+  /// resumable from exactly that point.
+  std::function<void(const McProgress&)> on_block;
+};
+
+struct McRunResult {
+  FailureCounter counter;
+  /// First trial index NOT folded into `counter` (== trials when complete).
+  std::uint64_t next_index = 0;
+  /// False when the stop token ended the run early.
+  bool complete = false;
+};
+
+/// Resumable, cancellable indexed trial driver.  Trials are evaluated in
+/// index-ordered blocks; because every trial's stream is counter-split off
+/// (seed, index), a run resumed from any (next_index, counter) checkpoint —
+/// across any number of process restarts, with any `jobs` values — folds to
+/// a final counter BYTE-IDENTICAL to run_trials(trials, seed, ...).
+McRunResult run_trials_resumable(
+    std::uint64_t trials, std::uint64_t seed,
+    const std::function<bool(std::uint64_t, Rng&)>& trial,
+    const McResumableOptions& opt = {});
 
 }  // namespace eqc::noise

@@ -1,0 +1,77 @@
+#include "serve/journal.h"
+
+#include <utility>
+
+#include "common/assert.h"
+#include "common/checkpoint.h"
+
+namespace eqc::serve {
+
+std::vector<json::Value> parse_journal_text(const std::string& text) {
+  std::vector<json::Value> records;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Unterminated tail: the one artifact the crash model can produce.
+      // Whatever the fragment contains, the record it belonged to never
+      // committed — drop it.
+      break;
+    }
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty())
+      throw CheckpointCorrupt("journal: empty record line");
+    json::Value rec;
+    try {
+      rec = json::Value::parse(line);
+    } catch (const json::JsonError& e) {
+      throw CheckpointCorrupt(std::string("journal: unparseable record: ") +
+                              e.what());
+    }
+    if (!rec.is_object())
+      throw CheckpointCorrupt("journal: record is not an object");
+    const json::Value* seq = rec.find("seq");
+    const json::Value* event = rec.find("event");
+    if (seq == nullptr || !seq->is_number() || event == nullptr ||
+        !event->is_string())
+      throw CheckpointCorrupt("journal: record missing seq/event");
+    if (seq->as_u64() != records.size())
+      throw CheckpointCorrupt("journal: sequence number out of order");
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<json::Value> Journal::load(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) return {};
+  return parse_journal_text(text);
+}
+
+Journal::Journal(std::string path, std::uint64_t next_seq)
+    : path_(std::move(path)), next_seq_(next_seq) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  EQC_CHECK(file_ != nullptr);
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void Journal::append(json::Value record) {
+  EQC_EXPECTS(record.is_object());
+  json::Object stamped;
+  stamped.emplace_back("seq", next_seq_);
+  for (auto& member : record.as_object()) {
+    if (member.first != "seq") stamped.push_back(std::move(member));
+  }
+  const std::string line = json::Value(std::move(stamped)).dump() + "\n";
+  // One fwrite per record keeps the crash model honest: a torn write is a
+  // prefix of this line and never spans records.
+  EQC_CHECK(std::fwrite(line.data(), 1, line.size(), file_) == line.size());
+  EQC_CHECK(std::fflush(file_) == 0);
+  ++next_seq_;
+}
+
+}  // namespace eqc::serve

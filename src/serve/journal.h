@@ -1,0 +1,60 @@
+// Write-ahead job journal for the eqc_serve scheduler.
+//
+// The journal is an append-only JSONL file: one JSON object per line, each
+// carrying a strictly sequential "seq" member.  Every state transition of
+// the scheduler (submit, start, cancel, done, ...) is appended and flushed
+// BEFORE the transition takes effect, so after a kill -9 the journal is a
+// complete prefix of the scheduler's history and replaying it reconstructs
+// every job's status exactly.
+//
+// Crash model: a record is written with a single fwrite of "<json>\n"
+// followed by fflush.  A crash can therefore leave at most one torn
+// trailing line (a prefix of the last record, never containing '\n').
+// load() tolerates exactly that — a final unterminated fragment is
+// discarded as a crash artifact.  Any OTHER damage (an unparseable
+// terminated line, a missing/out-of-order "seq", a non-object record) is
+// not producible by the crash model and raises CheckpointCorrupt, which
+// callers may answer by quarantining the file and starting fresh.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace eqc::serve {
+
+/// Parses journal text into records (exposed for fuzz tests).  Tolerates a
+/// torn unterminated tail; throws CheckpointCorrupt on any interior damage.
+std::vector<json::Value> parse_journal_text(const std::string& text);
+
+class Journal {
+ public:
+  /// Loads the records of an existing journal file (absent file = empty).
+  static std::vector<json::Value> load(const std::string& path);
+
+  /// Opens `path` for appending (creating it when absent).  `next_seq`
+  /// must continue the loaded history (pass records.size()).  Throws
+  /// ContractViolation when the file cannot be opened.
+  Journal(std::string path, std::uint64_t next_seq);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Stamps `record` with the next "seq" (prepended, so journal lines all
+  /// lead with their sequence number), appends one line and flushes.
+  void append(json::Value record);
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace eqc::serve

@@ -1,0 +1,96 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace eqc::serve {
+
+bool read_line(int fd, std::string& line) {
+  line.clear();
+  char c = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0) return false;  // EOF, error or timeout
+    if (c == '\n') return true;
+    line.push_back(c);
+    if (line.size() > (1u << 20)) return false;  // runaway request
+  }
+}
+
+bool write_line(int fd, const std::string& line) {
+  std::string buf = line;
+  buf.push_back('\n');
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n =
+        ::send(fd, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+namespace {
+
+int connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) return -1;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path) {
+  fd_ = connect_unix(socket_path);
+  EQC_CHECK(fd_ >= 0);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+json::Value Client::request(const json::Value& req) {
+  EQC_CHECK(write_line(fd_, req.dump()));
+  std::string line;
+  EQC_CHECK(read_line(fd_, line));
+  return json::Value::parse(line);
+}
+
+bool server_alive(const std::string& socket_path) {
+  const int fd = connect_unix(socket_path);
+  if (fd < 0) return false;
+  json::Object ping;
+  ping.emplace_back("verb", "ping");
+  bool ok = write_line(fd, json::Value(std::move(ping)).dump());
+  std::string line;
+  if (ok) ok = read_line(fd, line);
+  ::close(fd);
+  if (!ok) return false;
+  try {
+    const json::Value v = json::Value::parse(line);
+    const json::Value* okv = v.find("ok");
+    return okv != nullptr && okv->is_bool() && okv->as_bool();
+  } catch (const json::JsonError&) {
+    return false;
+  }
+}
+
+}  // namespace eqc::serve

@@ -1,0 +1,54 @@
+// JSON-line protocol over a local (Unix-domain) socket.
+//
+// One request per line, one response per line, newline-terminated compact
+// JSON documents.  Requests carry a "verb" member; responses always carry
+// "ok" (true/false) and, on failure, "error".  The framing is transport
+// only — all semantics live in serve/server.cc's dispatch.
+//
+// Verbs:
+//   ping                          -> {"ok":true,"kind":"eqc_serve",...}
+//   submit   {"job": <JobSpec>}   -> {"ok":true,"id":N}
+//   status   [{"id":N}]           -> {"ok":true,"jobs":[...]}
+//   cancel   {"id":N}             -> {"ok":true,"cancelled":bool}
+//   shutdown [{"mode":"checkpoint"|"finish"}] -> {"ok":true}
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+
+namespace eqc::serve {
+
+/// Reads one newline-terminated line from a connected socket (the newline
+/// is stripped).  False on EOF / error / timeout before a full line.
+bool read_line(int fd, std::string& line);
+
+/// Writes `line` plus a trailing newline; false on error.  Uses
+/// MSG_NOSIGNAL so a vanished peer yields an error, not SIGPIPE.
+bool write_line(int fd, const std::string& line);
+
+/// Blocking JSON-line client for eqc_ctl and tests.
+class Client {
+ public:
+  /// Connects to the server's Unix socket; throws ContractViolation when
+  /// the connection cannot be established.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request and waits for the one-line response.  Throws
+  /// ContractViolation on a transport failure and JsonError on a
+  /// malformed response.
+  json::Value request(const json::Value& req);
+
+ private:
+  int fd_ = -1;
+};
+
+/// True when a server answers ping on `socket_path` (used by clients to
+/// poll for startup and by the soak harness to detect death).
+bool server_alive(const std::string& socket_path);
+
+}  // namespace eqc::serve

@@ -1,0 +1,191 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/assert.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+
+namespace eqc::serve {
+
+namespace {
+
+json::Value ok_response() {
+  json::Object obj;
+  obj.emplace_back("ok", true);
+  return json::Value(std::move(obj));
+}
+
+json::Value error_response(const std::string& message) {
+  json::Object obj;
+  obj.emplace_back("ok", false);
+  obj.emplace_back("error", message);
+  return json::Value(std::move(obj));
+}
+
+int listen_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  EQC_CHECK(socket_path.size() < sizeof(addr.sun_path));
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  // A previous kill -9 leaves a stale socket file behind; the journal, not
+  // the socket, is the source of truth, so replace it.
+  ::unlink(socket_path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EQC_CHECK(fd >= 0);
+  EQC_CHECK(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) == 0);
+  EQC_CHECK(::listen(fd, 16) == 0);
+  return fd;
+}
+
+enum class ShutdownMode { None, Checkpoint, Finish };
+
+json::Value dispatch(Scheduler& sched, const std::string& line,
+                     ShutdownMode& shutdown) {
+  json::Value req;
+  try {
+    req = json::Value::parse(line);
+  } catch (const json::JsonError& e) {
+    return error_response(std::string("bad request: ") + e.what());
+  }
+  const json::Value* verb = req.find("verb");
+  if (verb == nullptr || !verb->is_string())
+    return error_response("missing verb");
+
+  try {
+    if (verb->as_string() == "ping") {
+      json::Value resp = ok_response();
+      resp.set("kind", "eqc_serve");
+      resp.set("unfinished", static_cast<std::uint64_t>(sched.unfinished()));
+      return resp;
+    }
+    if (verb->as_string() == "submit") {
+      const json::Value* job = req.find("job");
+      if (job == nullptr) return error_response("submit: missing job");
+      const JobSpec spec = JobSpec::from_json(*job);
+      const std::uint64_t id = sched.submit(spec);
+      json::Value resp = ok_response();
+      resp.set("id", id);
+      return resp;
+    }
+    if (verb->as_string() == "status") {
+      json::Value resp = ok_response();
+      if (const json::Value* id = req.find("id")) {
+        const json::Value one = sched.status(id->as_u64());
+        if (one.is_null()) return error_response("status: unknown job");
+        json::Array arr;
+        arr.push_back(one);
+        resp.set("jobs", json::Value(std::move(arr)));
+      } else {
+        resp.set("jobs", sched.status_all());
+      }
+      return resp;
+    }
+    if (verb->as_string() == "cancel") {
+      const json::Value* id = req.find("id");
+      if (id == nullptr) return error_response("cancel: missing id");
+      json::Value resp = ok_response();
+      resp.set("cancelled", sched.cancel(id->as_u64()));
+      return resp;
+    }
+    if (verb->as_string() == "shutdown") {
+      std::string mode = "checkpoint";
+      if (const json::Value* m = req.find("mode")) mode = m->as_string();
+      if (mode == "finish")
+        shutdown = ShutdownMode::Finish;
+      else if (mode == "checkpoint")
+        shutdown = ShutdownMode::Checkpoint;
+      else
+        return error_response("shutdown: unknown mode");
+      return ok_response();
+    }
+    return error_response("unknown verb: " + verb->as_string());
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+void serve_connection(int fd, Scheduler& sched, ShutdownMode& shutdown) {
+  // Bound reads so one stuck client cannot wedge the control plane.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::string line;
+  while (shutdown == ShutdownMode::None && read_line(fd, line)) {
+    const json::Value resp = dispatch(sched, line, shutdown);
+    if (!write_line(fd, resp.dump())) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+std::size_t run_server(const ServerConfig& cfg) {
+  EQC_EXPECTS(!cfg.state_dir.empty());
+  const std::string socket_path =
+      cfg.socket_path.empty() ? cfg.state_dir + "/serve.sock"
+                              : cfg.socket_path;
+  const auto log = [&cfg](const std::string& msg) {
+    if (cfg.log) {
+      cfg.log(msg);
+    } else {
+      std::printf("eqc_serve: %s\n", msg.c_str());
+      std::fflush(stdout);
+    }
+  };
+
+  SchedulerConfig scfg;
+  scfg.state_dir = cfg.state_dir;
+  scfg.max_concurrent_jobs = cfg.max_concurrent_jobs;
+  Scheduler sched(scfg);  // recovery: unfinished jobs resume immediately
+  if (sched.unfinished() > 0)
+    log("recovered " + std::to_string(sched.unfinished()) +
+        " unfinished job(s), resuming");
+
+  const int listen_fd = listen_unix(socket_path);
+  log("listening on " + socket_path);
+
+  ShutdownMode shutdown = ShutdownMode::None;
+  while (shutdown == ShutdownMode::None) {
+    if (cfg.stop != nullptr && cfg.stop->load(std::memory_order_relaxed)) {
+      shutdown = ShutdownMode::Checkpoint;
+      break;
+    }
+    pollfd pfd{};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    const int r = ::poll(&pfd, 1, 200);
+    if (r <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    serve_connection(conn, sched, shutdown);
+  }
+
+  if (shutdown == ShutdownMode::Finish) {
+    log("shutdown(finish): running the queue dry");
+    // The stop flag still interrupts a finish-mode drain-down.
+    while (!sched.wait_idle(0.2)) {
+      if (cfg.stop != nullptr && cfg.stop->load(std::memory_order_relaxed))
+        break;
+    }
+  } else {
+    log("shutdown(checkpoint): draining");
+  }
+  sched.drain();
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+
+  const std::size_t unfinished = sched.unfinished();
+  log("exit: " + std::to_string(unfinished) + " resumable job(s) left");
+  return unfinished;
+}
+
+}  // namespace eqc::serve

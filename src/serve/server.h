@@ -1,0 +1,46 @@
+// The eqc_serve daemon loop: a Unix-socket JSON-line control plane in
+// front of the crash-safe Scheduler.
+//
+// run_server() binds the socket, recovers + resumes the state directory's
+// unfinished jobs (Scheduler construction), then answers one request per
+// connection line until a shutdown verb arrives or the external stop flag
+// (SIGTERM/SIGINT in eqc_serve) is raised.  Shutdown modes:
+//
+//   "checkpoint" (and the stop flag): DRAIN — running jobs stop
+//       cooperatively at their next checkpoint boundary, no terminal
+//       events are journaled, and the returned unfinished count is
+//       nonzero when resumable work remains (eqc_serve maps that to exit
+//       code 3).
+//   "finish": run the queue dry first, then exit with zero unfinished.
+//
+// Everything observable by clients is reconstructible after kill -9: the
+// journal replays the job table and the engines resume from their
+// checkpoints to byte-identical final reports.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace eqc::serve {
+
+struct ServerConfig {
+  /// State directory (journal/checkpoints/reports); must exist.
+  std::string state_dir;
+  /// Listening socket path; default "<state_dir>/serve.sock".
+  std::string socket_path;
+  /// Jobs run concurrently.
+  unsigned max_concurrent_jobs = 2;
+  /// External stop flag (signal handlers); triggers a checkpoint drain.
+  const std::atomic<bool>* stop = nullptr;
+  /// Optional log sink (one line per message); default stdout.
+  std::function<void(const std::string&)> log;
+};
+
+/// Runs the daemon until shutdown; returns the number of unfinished
+/// (resumable) jobs at exit — 0 after a clean finish.  Throws on setup
+/// errors (bad state dir, socket bind failure).
+std::size_t run_server(const ServerConfig& cfg);
+
+}  // namespace eqc::serve

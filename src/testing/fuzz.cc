@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/assert.h"
+#include "common/checkpoint.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "testing/circuit_json.h"
@@ -126,6 +127,7 @@ json::Value FuzzReport::to_json_value() const {
   obj.emplace_back("trials", config.trials);
   obj.emplace_back("trials_run", trials_run);
   obj.emplace_back("time_limited", time_limited);
+  obj.emplace_back("interrupted", interrupted);
   obj.emplace_back("measure_prob", config.measure_prob);
   obj.emplace_back("prep_prob", config.prep_prob);
   obj.emplace_back("tol", config.tol);
@@ -245,6 +247,76 @@ TrialOutcome run_trial(const FuzzConfig& cfg, std::uint64_t trial) {
   return out;
 }
 
+constexpr char kFuzzCheckpointKind[] = "eqc-fuzz-checkpoint";
+constexpr std::uint64_t kFuzzCheckpointSchemaVersion = 1;
+
+/// Everything that identifies the trial stream: a checkpoint only resumes
+/// a run whose per-trial outcomes are guaranteed identical.
+json::Value fuzz_fingerprint(const FuzzConfig& cfg) {
+  json::Object fp;
+  fp.emplace_back("gate_set", to_string(cfg.gate_set));
+  fp.emplace_back("qubits", static_cast<std::uint64_t>(cfg.qubits));
+  fp.emplace_back("depth", static_cast<std::uint64_t>(cfg.depth));
+  fp.emplace_back("seed", cfg.seed);
+  fp.emplace_back("trials", cfg.trials);
+  fp.emplace_back("measure_prob", cfg.measure_prob);
+  fp.emplace_back("prep_prob", cfg.prep_prob);
+  fp.emplace_back("tol", cfg.tol);
+  fp.emplace_back("bug", std::string(to_string(cfg.bug)));
+  fp.emplace_back("shrink", cfg.shrink);
+  fp.emplace_back("max_failures", static_cast<std::uint64_t>(cfg.max_failures));
+  return json::Value(std::move(fp));
+}
+
+std::string fuzz_checkpoint_to_json(const FuzzConfig& cfg,
+                                    std::uint64_t next_trial,
+                                    const FuzzReport& report) {
+  json::Object doc;
+  doc.emplace_back("kind", json::Value(kFuzzCheckpointKind));
+  doc.emplace_back("schema_version", json::Value(kFuzzCheckpointSchemaVersion));
+  doc.emplace_back("fingerprint", fuzz_fingerprint(cfg));
+  doc.emplace_back("next_trial", json::Value(next_trial));
+  doc.emplace_back("trials_run", json::Value(report.trials_run));
+  doc.emplace_back("oracle_runs", json::Value(report.oracle_runs));
+  json::Array arr;
+  for (const auto& f : report.failures) arr.push_back(f.to_json_value());
+  doc.emplace_back("failures", json::Value(std::move(arr)));
+  return json::Value(std::move(doc)).dump();
+}
+
+/// Restores the merged trial prefix; returns the resume index.  Throws
+/// CheckpointCorrupt on damage, ContractViolation on a foreign fingerprint.
+std::uint64_t load_fuzz_checkpoint(const FuzzConfig& cfg,
+                                   const std::string& text,
+                                   FuzzReport& report) {
+  const json::Value doc = parse_checkpoint_document(
+      text, kFuzzCheckpointKind, kFuzzCheckpointSchemaVersion);
+  std::string got;
+  try {
+    got = doc.at("fingerprint").dump();
+  } catch (const json::JsonError& e) {
+    throw CheckpointCorrupt(std::string("fuzz checkpoint: ") + e.what());
+  }
+  const std::string want = fuzz_fingerprint(cfg).dump();
+  if (want != got)
+    throw ContractViolation("fuzz checkpoint fingerprint mismatch:\n"
+                            "  checkpoint " + got + "\n  config     " + want);
+  try {
+    const std::uint64_t next = doc.at("next_trial").as_u64();
+    if (next > cfg.trials)
+      throw CheckpointCorrupt("fuzz checkpoint: next_trial out of range");
+    report.trials_run = doc.at("trials_run").as_u64();
+    report.oracle_runs = doc.at("oracle_runs").as_u64();
+    for (const auto& f : doc.at("failures").as_array())
+      report.failures.push_back(FailureArtifact::from_json(f));
+    return next;
+  } catch (const json::JsonError& e) {
+    throw CheckpointCorrupt(std::string("fuzz checkpoint: ") + e.what());
+  } catch (const ContractViolation& e) {
+    throw CheckpointCorrupt(std::string("fuzz checkpoint: ") + e.what());
+  }
+}
+
 }  // namespace
 
 FuzzReport run_fuzz(const FuzzConfig& cfg) {
@@ -255,7 +327,23 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
   FuzzReport report;
   report.config = cfg;
 
-  std::vector<TrialOutcome> outcomes(cfg.trials);
+  // --- resume a checkpointed run. -------------------------------------------
+  std::uint64_t next_trial = 0;
+  if (cfg.resume && !cfg.checkpoint_path.empty()) {
+    std::string text;
+    if (read_file(cfg.checkpoint_path, text)) {
+      try {
+        next_trial = load_fuzz_checkpoint(cfg, text, report);
+      } catch (const CheckpointCorrupt&) {
+        if (!cfg.fresh_on_corrupt) throw;
+        quarantine_corrupt_file(cfg.checkpoint_path);
+        report = FuzzReport{};
+        report.config = cfg;
+        next_trial = 0;
+      }
+    }
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   std::atomic<bool> out_of_time{false};
   auto expired = [&] {
@@ -267,28 +355,79 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
     out_of_time.store(true, std::memory_order_relaxed);
     return true;
   };
+  auto stop_requested = [&] {
+    return cfg.stop != nullptr && cfg.stop->load(std::memory_order_relaxed);
+  };
 
-  // One logical shard per trial: common/parallel claims shards in index
-  // order, each trial's outcome is a pure function of (seed, index), and
-  // the merge below walks trials in order — so the report cannot depend on
-  // the worker count.
-  const auto num_shards = static_cast<unsigned>(cfg.trials);
-  parallel::for_each_shard(num_shards, cfg.jobs, [&](unsigned shard) {
-    if (expired()) return;
-    outcomes[shard] = run_trial(cfg, shard);
-  });
+  // Trials are evaluated in index-ordered blocks and merged as a contiguous
+  // prefix.  Within a block, one logical shard per trial: common/parallel
+  // claims shards in index order, each trial's outcome is a pure function
+  // of (seed, index), and the merge walks trials in order — so neither the
+  // worker count nor the block boundaries can change the report.  The
+  // block size is only the checkpoint/cancellation granularity; without
+  // checkpointing one block spans the whole run, matching the one-pass
+  // driver exactly.
+  const std::uint64_t end_trial =
+      cfg.max_trials_this_run == 0
+          ? cfg.trials
+          : std::min<std::uint64_t>(cfg.trials,
+                                    next_trial + cfg.max_trials_this_run);
+  const std::uint64_t block =
+      cfg.checkpoint_path.empty()
+          ? cfg.trials
+          : std::max<std::uint64_t>(cfg.checkpoint_every, 1);
+  std::vector<TrialOutcome> outcomes;
+  auto write_checkpoint = [&] {
+    if (!cfg.checkpoint_path.empty())
+      write_file_atomically(cfg.checkpoint_path,
+                            fuzz_checkpoint_to_json(cfg, next_trial, report));
+  };
 
-  for (std::uint64_t t = 0; t < cfg.trials; ++t) {
-    if (!outcomes[t].completed) {
-      report.time_limited = true;
-      continue;
+  while (next_trial < end_trial) {
+    if (stop_requested()) {
+      report.interrupted = true;
+      break;
     }
-    ++report.trials_run;
-    report.oracle_runs += outcomes[t].oracle_runs;
-    for (auto& f : outcomes[t].failures)
-      if (report.failures.size() < cfg.max_failures)
-        report.failures.push_back(std::move(f));
+    const std::uint64_t base = next_trial;
+    const std::uint64_t count = std::min(block, end_trial - base);
+    outcomes.assign(static_cast<std::size_t>(count), TrialOutcome{});
+    parallel::for_each_shard(
+        static_cast<unsigned>(count), cfg.jobs, [&](unsigned shard) {
+          if (expired() || stop_requested()) return;
+          outcomes[shard] = run_trial(cfg, base + shard);
+        });
+
+    // Merge the contiguous completed prefix of the block; a gap means the
+    // time budget or the stop token cut the run mid-block, and everything
+    // past the gap is discarded (it will be re-evaluated, identically, on
+    // resume).
+    std::uint64_t done = 0;
+    for (; done < count; ++done) {
+      auto& o = outcomes[done];
+      if (!o.completed) break;
+      ++report.trials_run;
+      report.oracle_runs += o.oracle_runs;
+      for (auto& f : o.failures)
+        if (report.failures.size() < cfg.max_failures)
+          report.failures.push_back(std::move(f));
+    }
+    next_trial += done;
+    if (done < count) {
+      if (stop_requested())
+        report.interrupted = true;
+      else
+        report.time_limited = true;
+      break;
+    }
+    write_checkpoint();
+    if (cfg.on_progress) cfg.on_progress(next_trial, report.failures.size());
   }
+  if (next_trial < cfg.trials && !report.time_limited)
+    report.interrupted = true;  // stop token or max_trials_this_run
+
+  // A final flush so an interrupted run never loses merged progress.
+  write_checkpoint();
+  if (cfg.on_progress) cfg.on_progress(next_trial, report.failures.size());
   return report;
 }
 

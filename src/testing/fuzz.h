@@ -13,7 +13,9 @@
 // plus a generated GoogleTest regression snippet.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,6 +50,27 @@ struct FuzzConfig {
   bool shrink = true;
   /// Cap on reported failures (applied deterministically after the merge).
   std::size_t max_failures = 25;
+  /// Cooperative cancellation, polled at trial granularity.  An
+  /// interrupted run flushes a final checkpoint (when checkpointing) and
+  /// returns a report with `interrupted` set; resuming later reaches the
+  /// same final report as an uninterrupted run.
+  const std::atomic<bool>* stop = nullptr;
+  /// Periodic JSON checkpoint of the merged trial prefix; empty disables.
+  std::string checkpoint_path;
+  /// Trials between checkpoint writes (also the parallel block size when
+  /// checkpointing; never changes the report).
+  std::uint64_t checkpoint_every = 64;
+  /// Load `checkpoint_path` (when it exists) and continue from it.  The
+  /// checkpoint's fingerprint must match this configuration.
+  bool resume = false;
+  /// When resuming and the checkpoint is damaged (CheckpointCorrupt),
+  /// quarantine it and start fresh instead of throwing.
+  bool fresh_on_corrupt = false;
+  /// Stop after this many trials this run (0 = all) — bounds a session and
+  /// lets tests simulate a mid-campaign kill.
+  std::uint64_t max_trials_this_run = 0;
+  /// Invoked after each merged block with (trials merged, failures kept).
+  std::function<void(std::uint64_t, std::size_t)> on_progress;
 };
 
 /// One replayable counterexample.
@@ -79,6 +102,9 @@ struct FuzzReport {
   /// True when the time budget cut trials; byte-identity across --jobs is
   /// only guaranteed when false.
   bool time_limited = false;
+  /// True when a cooperative stop or `max_trials_this_run` ended the run
+  /// before the trial budget; the written checkpoint makes it resumable.
+  bool interrupted = false;
   std::uint64_t oracle_runs = 0;  ///< total oracle evaluations
   std::vector<FailureArtifact> failures;  ///< ordered by (trial, oracle)
 

@@ -13,6 +13,7 @@
 #include "analysis/fault_enum.h"
 #include "codes/steane.h"
 #include "common/assert.h"
+#include "common/checkpoint.h"
 #include "ftqc/layout.h"
 #include "ftqc/ngate.h"
 #include "ftqc/recovery.h"
@@ -199,6 +200,122 @@ TEST(Campaign, ResumeRejectsAMismatchedCheckpoint) {
   cfg.resume = true;
   cfg.budget = 80;  // different campaign -> different fingerprint
   EXPECT_THROW((void)run_campaign(ex, cfg), ContractViolation);
+}
+
+// --- checkpoint robustness --------------------------------------------------
+
+namespace {
+
+std::string slurp_file(const std::string& path) {
+  std::string text;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+void spit_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), f), text.size());
+  std::fclose(f);
+}
+
+// Produces a mid-campaign checkpoint file and the campaign config that
+// wrote it (small: k=1 keeps items cheap and the malignant list empty).
+CampaignConfig checkpointed_campaign(const FaultExperiment& ex,
+                                     const std::string& path) {
+  CampaignConfig cfg;
+  cfg.mode = CampaignMode::KFault;
+  cfg.k = 1;
+  cfg.budget = 60;
+  cfg.checkpoint_path = path;
+  cfg.checkpoint_every = 8;
+  cfg.max_items_this_run = 30;
+  const auto partial = run_campaign(ex, cfg);
+  EXPECT_FALSE(partial.complete);
+  cfg.max_items_this_run = 0;
+  cfg.resume = true;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Campaign, CheckpointTruncatedAtEveryByteOffsetThrowsTheDistinctError) {
+  const auto ex = make_ngate_experiment(true, 3, true);
+  TempFile ck("campaign_truncate_ck.json");
+  CampaignConfig cfg = checkpointed_campaign(ex, ck.path);
+  const std::string original = slurp_file(ck.path);
+  ASSERT_FALSE(original.empty());
+
+  // A strict prefix of a JSON document never parses, so every truncation
+  // point must surface as CheckpointCorrupt — never a crash, never a
+  // ContractViolation, never a silent wrong resume.
+  for (std::size_t len = 0; len < original.size(); ++len) {
+    spit_file(ck.path, original.substr(0, len));
+    EXPECT_THROW((void)run_campaign(ex, cfg), CheckpointCorrupt)
+        << "truncated at byte " << len;
+  }
+  spit_file(ck.path, original);
+  const auto resumed = run_campaign(ex, cfg);
+  EXPECT_TRUE(resumed.complete);
+}
+
+TEST(Campaign, CheckpointSingleByteCorruptionNeverCrashes) {
+  const auto ex = make_ngate_experiment(true, 3, true);
+  TempFile ck("campaign_flip_ck.json");
+  CampaignConfig cfg = checkpointed_campaign(ex, ck.path);
+  const std::string original = slurp_file(ck.path);
+
+  Rng rng(77);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t pos = rng.below(original.size());
+    std::string damaged = original;
+    damaged[pos] = static_cast<char>(rng.below(256));
+    if (damaged == original) continue;
+    spit_file(ck.path, damaged);
+    std::remove((ck.path + ".corrupt").c_str());
+    // Allowed outcomes: a report (the flip was harmless or quarantined
+    // away under fresh_on_corrupt) or a ContractViolation (the flip
+    // landed in the fingerprint, indistinguishable from a foreign
+    // checkpoint).  Anything else is a bug.
+    CampaignConfig tolerant = cfg;
+    tolerant.fresh_on_corrupt = true;
+    try {
+      (void)run_campaign(ex, tolerant);
+    } catch (const ContractViolation&) {
+    }
+  }
+}
+
+TEST(Campaign, FreshOnCorruptQuarantinesAndReachesTheReferenceReport) {
+  const auto ex = make_ngate_experiment(true, 3, true);
+
+  CampaignConfig clean;
+  clean.mode = CampaignMode::KFault;
+  clean.k = 1;
+  clean.budget = 60;
+  const auto reference = run_campaign(ex, clean);
+
+  TempFile ck("campaign_fresh_ck.json");
+  CampaignConfig cfg = checkpointed_campaign(ex, ck.path);
+  const std::string original = slurp_file(ck.path);
+  spit_file(ck.path, original.substr(0, original.size() / 2));
+
+  // Without the fallback: the distinct error.
+  EXPECT_THROW((void)run_campaign(ex, cfg), CheckpointCorrupt);
+
+  // With it: quarantine + fresh start + the exact same final report
+  // (determinism makes the fallback safe).
+  cfg.fresh_on_corrupt = true;
+  const auto recovered = run_campaign(ex, cfg);
+  EXPECT_TRUE(recovered.complete);
+  EXPECT_EQ(recovered.to_json(), reference.to_json());
+  EXPECT_FALSE(slurp_file(ck.path + ".corrupt").empty());
+  std::remove((ck.path + ".corrupt").c_str());
 }
 
 // --- shrinking and replay ---------------------------------------------------

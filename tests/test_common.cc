@@ -5,10 +5,14 @@
 #include <set>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/assert.h"
+#include "common/checkpoint.h"
 #include "common/json.h"
 #include "common/matrix.h"
 #include "common/parallel.h"
@@ -352,6 +356,98 @@ TEST(Stats, FailureCounterJsonRoundTrip) {
   const auto iv = c.interval();
   EXPECT_DOUBLE_EQ(v.at("wilson_low").as_double(), iv.low);
   EXPECT_DOUBLE_EQ(v.at("wilson_high").as_double(), iv.high);
+}
+
+// --- checkpoint plumbing ----------------------------------------------------
+
+TEST(Checkpoint, WriteAtomicallyRoundTripsAndReplaces) {
+  const std::string path = ::testing::TempDir() + "ck_atomic.json";
+  std::remove(path.c_str());
+  write_file_atomically(path, "first");
+  std::string content;
+  ASSERT_TRUE(read_file(path, content));
+  EXPECT_EQ(content, "first");
+  write_file_atomically(path, "second");
+  ASSERT_TRUE(read_file(path, content));
+  EXPECT_EQ(content, "second");
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ReadFileFalseWhenMissing) {
+  std::string content;
+  EXPECT_FALSE(read_file(::testing::TempDir() + "ck_missing.json", content));
+}
+
+TEST(Checkpoint, QuarantineMovesTheEvidenceAside) {
+  const std::string path = ::testing::TempDir() + "ck_quarantine.json";
+  write_file_atomically(path, "damaged");
+  const std::string moved = quarantine_corrupt_file(path);
+  EXPECT_EQ(moved, path + ".corrupt");
+  std::string content;
+  EXPECT_FALSE(read_file(path, content));
+  ASSERT_TRUE(read_file(moved, content));
+  EXPECT_EQ(content, "damaged");
+  std::remove(moved.c_str());
+  // Nothing to quarantine: empty return, no throw.
+  EXPECT_TRUE(quarantine_corrupt_file(path).empty());
+}
+
+TEST(Checkpoint, ParseDocumentValidatesTheEnvelope) {
+  const auto doc = parse_checkpoint_document(
+      R"({"kind":"test-kind","schema_version":3,"payload":7})", "test-kind", 3);
+  EXPECT_EQ(doc.at("payload").as_u64(), 7u);
+
+  EXPECT_THROW((void)parse_checkpoint_document("not json", "test-kind", 3),
+               CheckpointCorrupt);
+  EXPECT_THROW((void)parse_checkpoint_document("[1,2]", "test-kind", 3),
+               CheckpointCorrupt);
+  EXPECT_THROW((void)parse_checkpoint_document(
+                   R"({"kind":"other","schema_version":3})", "test-kind", 3),
+               CheckpointCorrupt);
+  EXPECT_THROW((void)parse_checkpoint_document(
+                   R"({"kind":"test-kind","schema_version":2})", "test-kind", 3),
+               CheckpointCorrupt);
+  EXPECT_THROW((void)parse_checkpoint_document(R"({"schema_version":3})",
+                                               "test-kind", 3),
+               CheckpointCorrupt);
+  EXPECT_THROW((void)parse_checkpoint_document(R"({"kind":"test-kind"})",
+                                               "test-kind", 3),
+               CheckpointCorrupt);
+}
+
+TEST(CheckpointCadence, ItemCountLegFiresEveryN) {
+  const auto t0 = CheckpointCadence::Clock::now();
+  CheckpointCadence cadence(3, 0.0, t0);
+  EXPECT_FALSE(cadence.item_done(t0));
+  EXPECT_FALSE(cadence.item_done(t0));
+  EXPECT_TRUE(cadence.item_done(t0));  // third item: due
+  cadence.wrote(t0);
+  EXPECT_FALSE(cadence.item_done(t0));  // counter reset
+}
+
+TEST(CheckpointCadence, WallTimeLegBoundsTheLossWindow) {
+  using namespace std::chrono;
+  const auto t0 = CheckpointCadence::Clock::now();
+  CheckpointCadence cadence(1000000, 5.0, t0);
+  // Far below the item leg, but past the time leg: due.
+  EXPECT_FALSE(cadence.item_done(t0 + seconds(4)));
+  EXPECT_TRUE(cadence.item_done(t0 + seconds(6)));
+  cadence.wrote(t0 + seconds(6));
+  EXPECT_FALSE(cadence.item_done(t0 + seconds(10)));  // clock restarted
+  EXPECT_TRUE(cadence.item_done(t0 + seconds(12)));
+}
+
+TEST(CheckpointCadence, ZeroIntervalDisablesTheTimeLeg) {
+  using namespace std::chrono;
+  const auto t0 = CheckpointCadence::Clock::now();
+  CheckpointCadence cadence(10, 0.0, t0);
+  EXPECT_FALSE(cadence.item_done(t0 + hours(100)));
+}
+
+TEST(CheckpointCadence, EveryZeroItemsMeansEveryItem) {
+  const auto t0 = CheckpointCadence::Clock::now();
+  CheckpointCadence cadence(0, 0.0, t0);
+  EXPECT_TRUE(cadence.item_done(t0));
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 // and Monte-Carlo driver reproducibility.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <set>
@@ -243,6 +245,117 @@ INSTANTIATE_TEST_SUITE_P(AllChannels, ChannelRate,
                                            Channel::BitFlip,
                                            Channel::PhaseFlip,
                                            Channel::SingleQubitPauli));
+
+// --- resumable trial driver -------------------------------------------------
+
+namespace {
+
+// A cheap deterministic per-index trial: pure function of (seed, index).
+bool toy_trial(std::uint64_t, Rng& rng) { return rng.uniform() < 0.125; }
+
+}  // namespace
+
+TEST(MonteCarloResumable, MatchesRunTrialsForAnyJobsValue) {
+  const std::uint64_t trials = 5000, seed = 17;
+  const auto reference =
+      run_trials_indexed(trials, seed, toy_trial, /*jobs=*/1);
+  for (unsigned jobs : {1u, 3u}) {
+    McResumableOptions opt;
+    opt.jobs = jobs;
+    const auto result = run_trials_resumable(trials, seed, toy_trial, opt);
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.next_index, trials);
+    EXPECT_EQ(result.counter.trials, reference.trials);
+    EXPECT_EQ(result.counter.failures, reference.failures);
+  }
+}
+
+TEST(MonteCarloResumable, StopTokenFlushesAResumablePoint) {
+  const std::uint64_t trials = 5000, seed = 17;
+  const auto reference = run_trials_indexed(trials, seed, toy_trial, 1);
+
+  std::atomic<bool> stop{false};
+  McResumableOptions opt;
+  opt.jobs = 2;
+  opt.block = 256;
+  opt.stop = &stop;
+  std::uint64_t blocks_seen = 0;
+  opt.on_block = [&](const McProgress& p) {
+    ++blocks_seen;
+    if (p.next_index >= 1024) stop.store(true);
+  };
+  const auto partial = run_trials_resumable(trials, seed, toy_trial, opt);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_LT(partial.next_index, trials);
+  EXPECT_EQ(partial.counter.trials, partial.next_index);
+  EXPECT_GT(blocks_seen, 0u);
+
+  // Resume from exactly the stopping point -> identical final counter.
+  McResumableOptions resume;
+  resume.jobs = 3;
+  resume.start_index = partial.next_index;
+  resume.initial = partial.counter;
+  const auto resumed = run_trials_resumable(trials, seed, toy_trial, resume);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.counter.trials, reference.trials);
+  EXPECT_EQ(resumed.counter.failures, reference.failures);
+}
+
+TEST(MonteCarloResumable, ResumeIsByteIdenticalAcrossAnySplitPoint) {
+  const std::uint64_t trials = 600, seed = 5;
+  const auto reference = run_trials_indexed(trials, seed, toy_trial, 1);
+  for (std::uint64_t split : {std::uint64_t{1}, std::uint64_t{137},
+                              std::uint64_t{599}, std::uint64_t{600}}) {
+    McResumableOptions first;
+    first.block = 64;
+    std::atomic<bool> stop{false};
+    first.stop = &stop;
+    first.on_block = [&](const McProgress& p) {
+      if (p.next_index >= split) stop.store(true);
+    };
+    const auto head = run_trials_resumable(trials, seed, toy_trial, first);
+
+    McResumableOptions rest;
+    rest.start_index = head.next_index;
+    rest.initial = head.counter;
+    const auto tail = run_trials_resumable(trials, seed, toy_trial, rest);
+    EXPECT_TRUE(tail.complete);
+    EXPECT_EQ(tail.counter.to_json_value().dump(),
+              reference.to_json_value().dump())
+        << "split at " << split;
+  }
+}
+
+TEST(MonteCarloResumable, PreSetStopRunsNothing) {
+  std::atomic<bool> stop{true};
+  McResumableOptions opt;
+  opt.stop = &stop;
+  opt.start_index = 40;
+  FailureCounter initial;
+  initial.trials = 40;
+  initial.failures = 3;
+  opt.initial = initial;
+  const auto result = run_trials_resumable(1000, 1, toy_trial, opt);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.next_index, 40u);
+  EXPECT_EQ(result.counter.trials, 40u);
+  EXPECT_EQ(result.counter.failures, 3u);
+}
+
+TEST(MonteCarloResumable, OnBlockSeesMonotoneCheckpoints) {
+  McResumableOptions opt;
+  opt.jobs = 2;
+  opt.block = 100;
+  std::uint64_t last = 0;
+  opt.on_block = [&last](const McProgress& p) {
+    EXPECT_GT(p.next_index, last);
+    EXPECT_EQ(p.counter.trials, p.next_index);
+    last = p.next_index;
+  };
+  const auto result = run_trials_resumable(950, 9, toy_trial, opt);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(last, 950u);
+}
 
 }  // namespace
 }  // namespace eqc::noise

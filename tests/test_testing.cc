@@ -4,12 +4,16 @@
 // shrinking and replay, --jobs byte-identity, and shrinker 1-minimality.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
 #include <set>
+#include <string>
 
 #include "circuit/circuit.h"
 #include "circuit/execute.h"
 #include "circuit/op.h"
 #include "common/assert.h"
+#include "common/checkpoint.h"
 #include "common/rng.h"
 #include "testing/circuit_edit.h"
 #include "testing/circuit_gen.h"
@@ -350,6 +354,174 @@ TEST(Shrink, PreservesFailureOnRealOracle) {
   const auto small = shrink_circuit(c, fails);
   EXPECT_TRUE(fails(small));
   EXPECT_LE(small.size(), 5u);
+}
+
+// --- checkpoint / resume ----------------------------------------------------
+
+namespace {
+
+// A scratch file that cleans up after itself.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name) {
+    path = ::testing::TempDir() + name;
+    std::remove(path.c_str());
+    std::remove((path + ".corrupt").c_str());
+  }
+  ~TempFile() {
+    std::remove(path.c_str());
+    std::remove((path + ".corrupt").c_str());
+  }
+};
+
+FuzzConfig small_buggy_config() {
+  FuzzConfig cfg;
+  cfg.qubits = 4;
+  cfg.depth = 20;
+  cfg.trials = 120;
+  cfg.seed = 7;
+  cfg.jobs = 2;
+  cfg.bug = PlantedBug::SInverted;  // guarantees failures in the report
+  return cfg;
+}
+
+std::string slurp_file(const std::string& path) {
+  std::string text;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+void spit_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(text.data(), 1, text.size(), f), text.size());
+  std::fclose(f);
+}
+
+}  // namespace
+
+TEST(FuzzResume, KillResumeReachesTheByteIdenticalReport) {
+  FuzzConfig cfg = small_buggy_config();
+  const auto reference = run_fuzz(cfg);  // uninterrupted, no checkpointing
+  ASSERT_GT(reference.failures.size(), 0u);
+
+  TempFile ck("fuzz_ck.json");
+  cfg.checkpoint_path = ck.path;
+  cfg.checkpoint_every = 16;
+  cfg.max_trials_this_run = 50;  // simulated kill
+  const auto killed = run_fuzz(cfg);
+  EXPECT_TRUE(killed.interrupted);
+  EXPECT_LT(killed.trials_run, cfg.trials);
+
+  cfg.resume = true;
+  cfg.max_trials_this_run = 37;  // a second, differently-placed kill
+  const auto middle = run_fuzz(cfg);
+  EXPECT_TRUE(middle.interrupted);
+
+  cfg.max_trials_this_run = 0;  // run to completion
+  cfg.jobs = 3;                 // a different worker count must not matter
+  const auto resumed = run_fuzz(cfg);
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.to_json(), reference.to_json());
+}
+
+TEST(FuzzResume, StopTokenInterruptsAndCheckpointResumes) {
+  FuzzConfig cfg = small_buggy_config();
+  const auto reference = run_fuzz(cfg);
+
+  TempFile ck("fuzz_stop_ck.json");
+  cfg.checkpoint_path = ck.path;
+  cfg.checkpoint_every = 16;
+  std::atomic<bool> stop{false};
+  cfg.stop = &stop;
+  cfg.on_progress = [&stop](std::uint64_t merged, std::size_t) {
+    if (merged >= 32) stop.store(true);
+  };
+  const auto interrupted = run_fuzz(cfg);
+  EXPECT_TRUE(interrupted.interrupted);
+  EXPECT_LT(interrupted.trials_run, cfg.trials);
+  EXPECT_FALSE(slurp_file(ck.path).empty());  // final checkpoint flushed
+
+  cfg.stop = nullptr;
+  cfg.on_progress = nullptr;
+  cfg.resume = true;
+  const auto resumed = run_fuzz(cfg);
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.to_json(), reference.to_json());
+}
+
+TEST(FuzzResume, PreSetStopRunsNoTrials) {
+  FuzzConfig cfg = small_buggy_config();
+  std::atomic<bool> stop{true};
+  cfg.stop = &stop;
+  const auto report = run_fuzz(cfg);
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_EQ(report.trials_run, 0u);
+}
+
+TEST(FuzzResume, ResumeRejectsAMismatchedCheckpoint) {
+  FuzzConfig cfg = small_buggy_config();
+  TempFile ck("fuzz_mismatch_ck.json");
+  cfg.checkpoint_path = ck.path;
+  cfg.max_trials_this_run = 40;
+  (void)run_fuzz(cfg);
+
+  cfg.resume = true;
+  cfg.seed = 99;  // different campaign -> different fingerprint
+  EXPECT_THROW((void)run_fuzz(cfg), ContractViolation);
+}
+
+TEST(FuzzResume, CorruptCheckpointThrowsTheDistinctError) {
+  FuzzConfig cfg = small_buggy_config();
+  TempFile ck("fuzz_corrupt_ck.json");
+  cfg.checkpoint_path = ck.path;
+  cfg.max_trials_this_run = 40;
+  (void)run_fuzz(cfg);
+
+  const std::string original = slurp_file(ck.path);
+  ASSERT_FALSE(original.empty());
+  cfg.resume = true;
+  cfg.max_trials_this_run = 0;
+
+  // Truncation at a sample of byte offsets: always the distinct
+  // CheckpointCorrupt (a strict prefix of a JSON document never parses).
+  for (std::size_t len : {std::size_t{0}, std::size_t{1},
+                          original.size() / 2, original.size() - 1}) {
+    spit_file(ck.path, original.substr(0, len));
+    EXPECT_THROW((void)run_fuzz(cfg), CheckpointCorrupt) << "offset " << len;
+  }
+
+  // fresh_on_corrupt: quarantine + fresh start reaches the reference
+  // report anyway (determinism makes the fallback safe).
+  FuzzConfig clean = small_buggy_config();
+  const auto reference = run_fuzz(clean);
+  spit_file(ck.path, original.substr(0, original.size() / 2));
+  cfg.fresh_on_corrupt = true;
+  const auto recovered = run_fuzz(cfg);
+  EXPECT_FALSE(recovered.interrupted);
+  EXPECT_EQ(recovered.to_json(), reference.to_json());
+  EXPECT_FALSE(slurp_file(ck.path + ".corrupt").empty());
+}
+
+TEST(FuzzResume, CheckpointingNeverChangesTheReport) {
+  FuzzConfig cfg = small_buggy_config();
+  const auto reference = run_fuzz(cfg);
+
+  TempFile ck("fuzz_cadence_ck.json");
+  cfg.checkpoint_path = ck.path;
+  for (std::uint64_t every : {std::uint64_t{8}, std::uint64_t{64},
+                              std::uint64_t{1000}}) {
+    cfg.checkpoint_every = every;
+    std::remove(ck.path.c_str());
+    const auto report = run_fuzz(cfg);
+    EXPECT_EQ(report.to_json(), reference.to_json())
+        << "checkpoint_every " << every;
+  }
 }
 
 }  // namespace

@@ -33,8 +33,10 @@
 //   --replay FILE     re-execute every malignant set recorded in FILE and
 //                     verify each still fails (exit 0 iff all replay)
 //
-// Exit status: nonzero when the single-fault FT check fails (so campaigns
-// can gate CI), or when --replay finds a set that no longer fails.
+// Exit status: 0 = clean pass; 1 = the single-fault FT check fails (so
+// campaigns can gate CI) or --replay finds a set that no longer fails;
+// 2 = usage / runtime error; 3 = interrupted by SIGINT/SIGTERM with a
+// final checkpoint flushed — re-run with --resume to continue.
 //
 // Examples:
 //   eqc_faultscan ngate
@@ -43,6 +45,8 @@
 //   eqc_faultscan ngate --chaos 1e-3 5000 --tripwire
 //   eqc_faultscan ngate --replay out.json
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <iterator>
 #include <cstdlib>
@@ -52,12 +56,10 @@
 #include <string>
 
 #include "analysis/campaign.h"
+#include "analysis/experiments.h"
 #include "analysis/fault_enum.h"
 #include "circuit/schedule.h"
 #include "codes/steane.h"
-#include "ftqc/layout.h"
-#include "ftqc/ngate.h"
-#include "ftqc/recovery.h"
 #include "noise/model.h"
 #include "noise/monte_carlo.h"
 
@@ -66,6 +68,20 @@ using codes::Block;
 using codes::Steane;
 
 namespace {
+
+/// Exit code for a cooperative SIGINT/SIGTERM stop with resumable state.
+constexpr int kExitInterrupted = 3;
+
+std::atomic<bool> g_stop{false};
+
+void install_stop_handlers() {
+  // A second signal while draining kills the process the default way.
+  struct sigaction sa {};
+  sa.sa_handler = [](int) { g_stop.store(true); };
+  sa.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 struct Options {
   std::string gadget;
@@ -159,73 +175,7 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
-struct BuiltExperiment {
-  analysis::FaultExperiment ex;
-  Block main_block;                      ///< data/source block for tripwires
-  std::vector<std::size_t> probe_after;  ///< empty = probe every site
-};
-
-BuiltExperiment build_ngate(const Options& opt) {
-  ftqc::Layout layout;
-  const Block source = layout.block();
-  auto anc = ftqc::allocate_ngate_ancillas(layout, opt.reps);
-  const auto out = layout.reg(7);
-
-  BuiltExperiment built;
-  analysis::FaultExperiment& ex = built.ex;
-  ex.num_qubits = layout.total();
-  ex.prep = circuit::Circuit(layout.total());
-  Steane::append_encode_zero(ex.prep, source);
-  Steane::append_logical_x(ex.prep, source);
-  ex.gadget = circuit::Circuit(layout.total());
-  ftqc::NGateOptions nopt;
-  nopt.repetitions = opt.reps;
-  nopt.syndrome_check = opt.syndrome;
-  ftqc::append_ngate(ex.gadget, source, out, anc, nopt);
-  ex.failed = [out, source](circuit::TabBackend& b,
-                            const circuit::ExecResult&) {
-    int ones = 0;
-    for (auto q : out) ones += b.tableau().deterministic_z_value(q) ? 1 : 0;
-    if (2 * ones <= static_cast<int>(out.size())) return true;
-    Rng rng(3);
-    Steane::perfect_correct(b.tableau(), source, rng);
-    return Steane::logical_z_expectation(b.tableau(), source) != -1.0;
-  };
-  ex.seed = opt.seed;
-  built.main_block = source;
-  return built;
-}
-
-BuiltExperiment build_recovery(const Options& opt, bool measurement_free) {
-  ftqc::Layout layout;
-  const Block data = layout.block();
-  auto anc = ftqc::allocate_recovery_ancillas(layout);
-  BuiltExperiment built;
-  analysis::FaultExperiment& ex = built.ex;
-  ex.num_qubits = layout.total();
-  ex.prep = circuit::Circuit(layout.total());
-  Steane::append_encode_zero(ex.prep, data);
-  ex.gadget = circuit::Circuit(layout.total());
-  ftqc::RecoveryOptions ropt;
-  ropt.measurement_free = measurement_free;
-  ftqc::RecoveryRoundMarks marks;
-  ftqc::append_recovery(ex.gadget, data, anc, ropt, &marks);
-  ex.failed = [data](circuit::TabBackend& b, const circuit::ExecResult&) {
-    Rng rng(5);
-    Steane::perfect_correct(b.tableau(), data, rng);
-    return Steane::logical_z_expectation(b.tableau(), data) != 1.0;
-  };
-  ex.seed = opt.seed;
-  built.main_block = data;
-  // Probe between syndrome rounds / after correction layers only: the
-  // recovery rounds are where codespace membership is the meaningful
-  // invariant ("is the data block still a codeword between rounds?").
-  built.probe_after = analysis::probe_ordinals_for_op_boundaries(
-      ex.gadget, marks.op_boundaries);
-  return built;
-}
-
-int run_replay(const BuiltExperiment& built, const Options& opt) {
+int run_replay(const analysis::BuiltGadget& built, const Options& opt) {
   std::ifstream in(opt.replay, std::ios::binary);
   if (!in.good()) {
     std::fprintf(stderr, "cannot read replay artifact: %s\n",
@@ -289,6 +239,7 @@ int run(const Options& opt);
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  install_stop_handlers();
   try {
     return run(opt);
   } catch (const std::exception& e) {
@@ -302,16 +253,14 @@ int main(int argc, char** argv) {
 namespace {
 
 int run(const Options& opt) {
-  BuiltExperiment built;
-  if (opt.gadget == "ngate")
-    built = build_ngate(opt);
-  else if (opt.gadget == "recovery")
-    built = build_recovery(opt, true);
-  else if (opt.gadget == "recovery-measured")
-    built = build_recovery(opt, false);
-  else
-    usage();
-  if (opt.correlated) built.ex.model = analysis::FaultModel::FullDepolarizing;
+  if (!analysis::is_known_gadget(opt.gadget)) usage();
+  analysis::GadgetSpec spec;
+  spec.gadget = opt.gadget;
+  spec.reps = opt.reps;
+  spec.syndrome = opt.syndrome;
+  spec.correlated = opt.correlated;
+  spec.seed = opt.seed;
+  analysis::BuiltGadget built = analysis::build_gadget_experiment(spec);
   analysis::FaultExperiment& ex = built.ex;
 
   if (!opt.replay.empty()) return run_replay(built, opt);
@@ -374,6 +323,11 @@ int run(const Options& opt) {
     cfg.shrink = opt.shrink;
     cfg.checkpoint_path = opt.checkpoint;
     cfg.resume = opt.resume;
+    // SIGINT/SIGTERM request a cooperative stop: the engine flushes a
+    // final checkpoint, and the wall-time cadence leg bounds the loss
+    // window even when single items are slow.
+    cfg.stop = &g_stop;
+    cfg.checkpoint_min_interval_sec = 5.0;
     if (opt.tripwire) {
       const Block block = built.main_block;
       cfg.tripwire.violated = [block](circuit::TabBackend& b) {
@@ -401,15 +355,25 @@ int run(const Options& opt) {
       out << report.to_json();
       std::printf("  report written to %s\n", opt.json_out.c_str());
     }
+    if (!report.complete && g_stop.load()) {
+      std::printf("interrupted: campaign checkpoint flushed%s%s — resume "
+                  "with --resume\n",
+                  opt.checkpoint.empty() ? "" : " to ",
+                  opt.checkpoint.c_str());
+      return kExitInterrupted;
+    }
   }
 
   if (opt.mc_trials > 0) {
     std::printf("\nMonte-Carlo at p = %g (%llu trials, %u jobs)...\n",
                 opt.mc_p, static_cast<unsigned long long>(opt.mc_trials),
                 opt.jobs);
-    const auto counter = noise::run_trials(
+    noise::McResumableOptions mc_opt;
+    mc_opt.jobs = opt.jobs;
+    mc_opt.stop = &g_stop;
+    const auto mc = noise::run_trials_resumable(
         opt.mc_trials, opt.seed,
-        [&](Rng& rng) {
+        [&](std::uint64_t, Rng& rng) {
           circuit::TabBackend backend(ex.num_qubits, rng.split());
           circuit::execute(ex.prep, backend);
           noise::StochasticInjector injector(
@@ -417,10 +381,13 @@ int run(const Options& opt) {
           const auto result = circuit::execute(ex.gadget, backend, &injector);
           return ex.failed(backend, result);
         },
-        opt.jobs);
+        mc_opt);
+    const auto& counter = mc.counter;
     const auto iv = counter.interval();
-    std::printf("  failure rate %.5f  [wilson 95%%: %.5f, %.5f]\n",
-                counter.rate(), iv.low, iv.high);
+    std::printf("  failure rate %.5f  [wilson 95%%: %.5f, %.5f]%s\n",
+                counter.rate(), iv.low, iv.high,
+                mc.complete ? "" : "  (interrupted, partial)");
+    if (!mc.complete) return kExitInterrupted;
   }
   // Nonzero exit when the single-fault FT property fails: `eqc_faultscan
   // <gadget> && ...` gates CI on fault tolerance.

@@ -26,12 +26,16 @@
 //   --replay FILE     replay one failure artifact; exit 0 iff it still fails
 //
 // Exit status: 0 = no failures (or replay reproduced), 1 = failures found
-// (or replay did NOT reproduce), 2 = usage / runtime error.
+// (or replay did NOT reproduce), 2 = usage / runtime error, 3 = interrupted
+// by SIGINT/SIGTERM — the JSON report / corpus written so far is flushed
+// and (with --checkpoint) the run is resumable via --resume.
 //
 // Examples:
 //   eqc_fuzz --gateset clifford-cc --trials 500 --jobs 4
 //   eqc_fuzz --plant-bug s-inverted --trials 50 --corpus corpus/
 //   eqc_fuzz --replay corpus/failure-0.json
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +48,19 @@
 using namespace eqc;
 
 namespace {
+
+/// Exit code for a cooperative SIGINT/SIGTERM stop with flushed artifacts.
+constexpr int kExitInterrupted = 3;
+
+std::atomic<bool> g_stop{false};
+
+void install_stop_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = [](int) { g_stop.store(true); };
+  sa.sa_flags = SA_RESETHAND;  // a second signal kills the default way
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 struct Options {
   testing::FuzzConfig cfg;
@@ -58,7 +75,8 @@ struct Options {
       "usage: eqc_fuzz [--gateset clifford|clifford-cc|clifford-t]\n"
       "       [--qubits N] [--depth D] [--seed S] [--trials T] [--jobs N]\n"
       "       [--time-budget SEC] [--measure-prob P] [--tol T] [--no-shrink]\n"
-      "       [--plant-bug B] [--json OUT] [--corpus DIR] [--replay FILE]\n");
+      "       [--plant-bug B] [--checkpoint FILE] [--resume]\n"
+      "       [--json OUT] [--corpus DIR] [--replay FILE]\n");
   std::exit(2);
 }
 
@@ -93,6 +111,10 @@ Options parse(int argc, char** argv) {
       opt.cfg.tol = std::atof(next("--tol"));
     else if (arg == "--no-shrink")
       opt.cfg.shrink = false;
+    else if (arg == "--checkpoint")
+      opt.cfg.checkpoint_path = next("--checkpoint");
+    else if (arg == "--resume")
+      opt.cfg.resume = true;
     else if (arg == "--plant-bug")
       opt.cfg.bug = testing::bug_from_string(next("--plant-bug"));
     else if (arg == "--json")
@@ -148,8 +170,9 @@ void write_corpus(const testing::FuzzReport& report, const std::string& dir) {
               report.failures.size(), dir.c_str());
 }
 
-int run(const Options& opt) {
+int run(Options opt) {
   if (!opt.replay.empty()) return run_replay(opt);
+  opt.cfg.stop = &g_stop;
 
   std::printf("eqc_fuzz: gate set %s, %zu qubits, depth %zu, %llu trials, "
               "seed %llu, %u jobs%s\n",
@@ -185,6 +208,14 @@ int run(const Options& opt) {
   if (!opt.corpus_dir.empty() && !report.failures.empty())
     write_corpus(report, opt.corpus_dir);
 
+  if (report.interrupted) {
+    std::printf("interrupted after %llu trial(s)%s\n",
+                static_cast<unsigned long long>(report.trials_run),
+                opt.cfg.checkpoint_path.empty()
+                    ? ""
+                    : "; checkpoint flushed — resume with --resume");
+    return kExitInterrupted;
+  }
   return report.failures.empty() ? 0 : 1;
 }
 
@@ -194,7 +225,9 @@ int main(int argc, char** argv) {
   // parse() stays inside the try: bad --gateset / --plant-bug values throw
   // and must exit 2, not terminate.
   try {
-    return run(parse(argc, argv));
+    Options opt = parse(argc, argv);
+    install_stop_handlers();
+    return run(std::move(opt));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "eqc_fuzz: error: %s\n", e.what());
     return 2;
