@@ -30,7 +30,7 @@ namespace {
 
 analysis::FaultExperiment make_experiment() {
   ftqc::Layout layout;
-  const Block source = layout.block();
+  const Block source = layout.steane_block();
   auto anc = ftqc::allocate_ngate_ancillas(layout, 3);
   const auto out = layout.reg(7);
 

@@ -38,7 +38,7 @@ struct NGateBench {
   ftqc::NGateOptions options;
 
   NGateBench(bool logical_one, int reps, bool syndrome) : one(logical_one) {
-    source = layout.block();
+    source = layout.steane_block();
     anc = ftqc::allocate_ngate_ancillas(layout, reps);
     out = layout.reg(7);
     options.repetitions = reps;

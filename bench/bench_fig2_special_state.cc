@@ -45,7 +45,7 @@ struct PrepBench {
   std::uint32_t verify_ancilla;  // for the appended verification EC
 
   explicit PrepBench(bool verified_cat) {
-    special = layout.block();
+    special = layout.steane_block();
     anc.cat = layout.reg(7);
     anc.parity = layout.reg(3);
     anc.control = anc.cat;  // reuse: control written after the cat's last use

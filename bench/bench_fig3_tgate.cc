@@ -41,8 +41,8 @@ struct TBench {
   ftqc::NGateOptions options;
 
   TBench(int reps, bool syndrome) {
-    regs.data = layout.block();
-    regs.special = layout.block();
+    regs.data = layout.block(codes::steane_code());
+    regs.special = layout.block(codes::steane_code());
     regs.n_anc.copies = layout.reg(static_cast<std::size_t>(reps));
     if (syndrome) {
       regs.n_anc.syndrome = {layout.bit(), layout.bit(), layout.bit()};
@@ -118,7 +118,8 @@ int main(int argc, char** argv) {
 
     TBench mb(1, false);
     circuit::Circuit mc(mb.layout.total());
-    ftqc::append_measured_t_gadget(mc, mb.regs.data, mb.regs.special);
+    ftqc::append_measured_t_gadget(mc, codes::steane_code(), mb.regs.data,
+                                   mb.regs.special);
     circuit::SvBackend mbackend(mb.initial_state(kInv, kInv), Rng(5));
     circuit::execute(mc, mbackend);
     const double mf = mb.output_fidelity(mbackend, kInv, kInv);
@@ -141,7 +142,8 @@ int main(int argc, char** argv) {
       TBench a(3, true), m(1, false);
       circuit::Circuit ca(a.layout.total()), cm(m.layout.total());
       ftqc::append_ft_t_gadget(ca, a.regs, a.options);
-      ftqc::append_measured_t_gadget(cm, m.regs.data, m.regs.special);
+      ftqc::append_measured_t_gadget(cm, codes::steane_code(), m.regs.data,
+                                     m.regs.special);
       std::printf("  fault sites: measurement-free %zu, measured %zu\n",
                   circuit::enumerate_fault_sites(ca).size(),
                   circuit::enumerate_fault_sites(cm).size());
@@ -158,7 +160,8 @@ int main(int argc, char** argv) {
       ftqc::append_ft_t_gadget(c, b.regs, b.options);
       circuit::Circuit verify(b.layout.total());
       const auto ec_anc = b.regs.n_anc.copies[0];
-      ftqc::append_measured_verification_ec(verify, b.regs.data, ec_anc);
+      ftqc::append_measured_verification_ec(verify, codes::steane_code(),
+                                            b.regs.data, ec_anc);
       circuit::SvBackend backend(b.initial_state(kInv, kInv), rng.split());
       noise::StochasticInjector inj(noise::NoiseModel::paper_model(p),
                                     rng.split());
@@ -169,9 +172,11 @@ int main(int argc, char** argv) {
     const auto mb_trial = [&](double p, std::uint64_t, Rng& rng) {
       TBench b(1, false);
       circuit::Circuit c(b.layout.total());
-      ftqc::append_measured_t_gadget(c, b.regs.data, b.regs.special);
+      ftqc::append_measured_t_gadget(c, codes::steane_code(), b.regs.data,
+                                     b.regs.special);
       circuit::Circuit verify(b.layout.total());
-      ftqc::append_measured_verification_ec(verify, b.regs.data,
+      ftqc::append_measured_verification_ec(verify, codes::steane_code(),
+                                            b.regs.data,
                                             b.regs.n_anc.copies[0]);
       circuit::SvBackend backend(b.initial_state(kInv, kInv), rng.split());
       noise::StochasticInjector inj(noise::NoiseModel::paper_model(p),
@@ -236,7 +241,8 @@ int main(int argc, char** argv) {
       circuit::SvBackend backend(b.initial_state(kInv, kInv), Rng(7));
       circuit::execute(c, backend, &inj);
       circuit::Circuit verify(b.layout.total());
-      ftqc::append_measured_verification_ec(verify, b.regs.data,
+      ftqc::append_measured_verification_ec(verify, codes::steane_code(),
+                                            b.regs.data,
                                             b.regs.n_anc.copies[0]);
       circuit::execute(verify, backend);
       if (b.output_fidelity(backend, kInv, kInv) < 1.0 - 1e-6) ++fails;

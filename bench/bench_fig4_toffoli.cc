@@ -95,12 +95,12 @@ int main(int argc, char** argv) {
   // --- Build the full-code circuit once for (b) and (c). -------------------
   ftqc::Layout layout;
   ftqc::CodedToffoliRegs regs;
-  regs.a = layout.block();
-  regs.b = layout.block();
-  regs.c = layout.block();
-  regs.x = layout.block();
-  regs.y = layout.block();
-  regs.z = layout.block();
+  regs.a = layout.block(codes::steane_code());
+  regs.b = layout.block(codes::steane_code());
+  regs.c = layout.block(codes::steane_code());
+  regs.x = layout.block(codes::steane_code());
+  regs.y = layout.block(codes::steane_code());
+  regs.z = layout.block(codes::steane_code());
   regs.ss_anc = ftqc::allocate_special_state_ancillas(layout, 7, 3);
   regs.ss_anc.verify = layout.reg(6);
   regs.n_anc = ftqc::allocate_ngate_ancillas(layout, 3);
@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
     // encoded block while also reaching outside it (intra-block gates are
     // confined to state preparation, where the hardened encoders and the
     // Fig. 2 machinery handle them).
-    std::vector<std::pair<const char*, const codes::Block*>> blocks = {
+    std::vector<std::pair<const char*, const codes::CodeBlock*>> blocks = {
         {"A", &regs.a}, {"B", &regs.b}, {"C", &regs.c},
         {"X", &regs.x}, {"Y", &regs.y}, {"Z", &regs.z}};
     auto block_of = [&](std::uint32_t q) -> int {
@@ -185,9 +185,9 @@ int main(int argc, char** argv) {
     // most one qubit per block; fault pairs bound the layer's p^2 term.
     ftqc::Layout cl;
     ftqc::CodedToffoliRegs cr;
-    cr.a = cl.block();
-    cr.b = cl.block();
-    cr.c = cl.block();
+    cr.a = cl.block(codes::steane_code());
+    cr.b = cl.block(codes::steane_code());
+    cr.c = cl.block(codes::steane_code());
     cr.m1 = cl.reg(7);
     cr.m2 = cl.reg(7);
     cr.m3 = cl.reg(7);

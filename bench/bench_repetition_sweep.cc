@@ -24,7 +24,7 @@ namespace {
 
 analysis::FaultExperiment make_experiment(int reps, bool syndrome) {
   ftqc::Layout layout;
-  const Block source = layout.block();
+  const Block source = layout.steane_block();
   auto anc = ftqc::allocate_ngate_ancillas(layout, reps);
   const auto out = layout.reg(7);
 

@@ -30,7 +30,7 @@ namespace {
 
 analysis::FaultExperiment make_experiment(bool plus, bool measurement_free) {
   ftqc::Layout layout;
-  const Block data = layout.block();
+  const Block data = layout.steane_block();
   auto anc = ftqc::allocate_recovery_ancillas(layout);
 
   analysis::FaultExperiment ex;

@@ -70,7 +70,7 @@ BENCHMARK(BM_TableauMeasure)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_NGateTableauRun(benchmark::State& state) {
   ftqc::Layout layout;
-  const auto source = layout.block();
+  const auto source = layout.steane_block();
   auto anc = ftqc::allocate_ngate_ancillas(layout, 3);
   const auto out = layout.reg(7);
   circuit::Circuit prep(layout.total());

@@ -8,13 +8,13 @@
 
 #include "circuit/execute.h"
 #include "circuit/sv_backend.h"
+#include "codes/css_code.h"
 #include "codes/steane.h"
 #include "ftqc/ft_tgate.h"
 #include "ftqc/layout.h"
 #include "qsim/gates.h"
 
 using namespace eqc;
-using codes::Block;
 using codes::Steane;
 
 int main() {
@@ -24,10 +24,11 @@ int main() {
   // Registers (22 qubits total): the Fig. 2 cat bank reuses the N-gate
   // ancillas plus one extra bit — they are never live at the same time and
   // every builder re-prepares its ancillas.
+  const codes::CssCode& code = codes::steane_code();
   ftqc::Layout layout;
   ftqc::TGateRegisters regs;
-  regs.data = layout.block();
-  regs.special = layout.block();
+  regs.data = layout.block(code);
+  regs.special = layout.block(code);
   regs.n_anc = ftqc::allocate_ngate_ancillas(layout, 1);
   regs.control.assign(regs.special.q.begin(), regs.special.q.end());
 
@@ -46,21 +47,21 @@ int main() {
 
   {
     circuit::Circuit c(layout.total());
-    Steane::append_encode_zero(c, regs.data);
-    Steane::append_logical_h(c, regs.data);
+    code.append_encode_zero(c, regs.data);
+    code.append_logical_h(c, regs.data);
     circuit::execute(c, backend);
   }
   for (int k = 0; k < 2; ++k) {
     std::printf("  applying measurement-free T gate %d/2...\n", k + 1);
     circuit::Circuit c(layout.total());
     for (auto q : regs.special.q) c.prep_z(q);
-    ftqc::append_t_state_prep(c, regs.special, ss, 1);
-    ftqc::append_ft_t_gadget(c, regs, opt);
+    ftqc::append_t_state_prep(c, code, regs.special, ss, 1);
+    ftqc::append_ft_t_gadget(c, code, regs, opt);
     circuit::execute(c, backend);
   }
   {
     circuit::Circuit c(layout.total());
-    Steane::append_logical_h(c, regs.data);
+    code.append_logical_h(c, regs.data);
     circuit::execute(c, backend);
   }
 

@@ -19,7 +19,7 @@ int main() {
   std::printf("== Ensemble of encoded computers with measurement-free EC ==\n");
 
   ftqc::Layout layout;
-  const Block data = layout.block();
+  const Block data = layout.steane_block();
   auto anc = ftqc::allocate_recovery_ancillas(layout);
   auto n_anc = ftqc::allocate_ngate_ancillas(layout, 3);
   const auto readout = layout.reg(7);

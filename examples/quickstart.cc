@@ -17,6 +17,7 @@
 #include "analysis/fault_enum.h"
 #include "circuit/execute.h"
 #include "circuit/sv_backend.h"
+#include "codes/css_code.h"
 #include "codes/steane.h"
 #include "ftqc/ft_tgate.h"
 #include "ftqc/layout.h"
@@ -31,10 +32,11 @@ int main() {
 
   // --- Registers: data block, special block (reused as the classical
   //     control register), N-gate ancillas. ------------------------------
+  const codes::CssCode& code = codes::steane_code();
   ftqc::Layout layout;
   ftqc::TGateRegisters regs;
-  regs.data = layout.block();
-  regs.special = layout.block();
+  regs.data = layout.block(code);
+  regs.special = layout.block(code);
   regs.n_anc = ftqc::allocate_ngate_ancillas(layout, /*repetitions=*/3);
   regs.control.assign(regs.special.q.begin(), regs.special.q.end());
 
@@ -54,7 +56,7 @@ int main() {
 
   // --- The measurement-free T gadget (Fig. 3). --------------------------
   circuit::Circuit gadget(layout.total());
-  ftqc::append_ft_t_gadget(gadget, regs, ftqc::NGateOptions{});
+  ftqc::append_ft_t_gadget(gadget, code, regs, ftqc::NGateOptions{});
   circuit::execute(gadget, backend);
 
   const auto want = Steane::encoded_amplitudes(inv, omega * inv);
@@ -67,7 +69,7 @@ int main() {
 
   // --- Fault-tolerance proof for the N gate (Fig. 1). -------------------
   ftqc::Layout nl;
-  const Block source = nl.block();
+  const Block source = nl.steane_block();
   auto anc = ftqc::allocate_ngate_ancillas(nl, 3);
   const auto out = nl.reg(7);
   analysis::FaultExperiment ex;

@@ -8,63 +8,72 @@
 
 namespace eqc::analysis {
 
-using codes::Block;
-using codes::Steane;
+using codes::CodeBlock;
+using codes::CssCode;
 
 namespace {
 
 BuiltGadget build_ngate(const GadgetSpec& spec) {
+  const CssCode& code = scenario_code(spec.scenario);
+  const int reps = spec.scenario.reps();
   ftqc::Layout layout;
-  const Block source = layout.block();
-  auto anc = ftqc::allocate_ngate_ancillas(layout, spec.reps);
-  const auto out = layout.reg(7);
+  const CodeBlock source = layout.block(code);
+  auto anc = ftqc::allocate_ngate_ancillas(layout, code, reps);
+  const auto out = layout.reg(code.n());
 
   BuiltGadget built;
   FaultExperiment& ex = built.ex;
   ex.num_qubits = layout.total();
   ex.prep = circuit::Circuit(layout.total());
-  Steane::append_encode_zero(ex.prep, source);
-  Steane::append_logical_x(ex.prep, source);
+  code.append_encode_zero(ex.prep, source);
+  code.append_logical_x(ex.prep, source);
   ex.gadget = circuit::Circuit(layout.total());
   ftqc::NGateOptions nopt;
-  nopt.repetitions = spec.reps;
+  nopt.repetitions = reps;
   nopt.syndrome_check = spec.syndrome;
-  ftqc::append_ngate(ex.gadget, source, out, anc, nopt);
-  ex.failed = [out, source](circuit::TabBackend& b,
-                            const circuit::ExecResult&) {
+  ftqc::append_ngate(ex.gadget, code, source, out, anc, nopt);
+  const CssCode* c = &code;
+  ex.failed = [out, source, c](circuit::TabBackend& b,
+                               const circuit::ExecResult&) {
     int ones = 0;
     for (auto q : out) ones += b.tableau().deterministic_z_value(q) ? 1 : 0;
     if (2 * ones <= static_cast<int>(out.size())) return true;
     Rng rng(3);
-    Steane::perfect_correct(b.tableau(), source, rng);
-    return Steane::logical_z_expectation(b.tableau(), source) != -1.0;
+    c->perfect_correct(b.tableau(), source, rng);
+    return c->logical_z_expectation(b.tableau(), source) != -1.0;
   };
   ex.seed = spec.seed;
   built.main_block = source;
+  built.code = c;
   return built;
 }
 
 BuiltGadget build_recovery(const GadgetSpec& spec, bool measurement_free) {
+  const CssCode& code = scenario_code(spec.scenario);
   ftqc::Layout layout;
-  const Block data = layout.block();
-  auto anc = ftqc::allocate_recovery_ancillas(layout);
+  const CodeBlock data = layout.block(code);
+  auto anc =
+      ftqc::allocate_recovery_ancillas(layout, code, spec.scenario.reps());
   BuiltGadget built;
   FaultExperiment& ex = built.ex;
   ex.num_qubits = layout.total();
   ex.prep = circuit::Circuit(layout.total());
-  Steane::append_encode_zero(ex.prep, data);
+  code.append_encode_zero(ex.prep, data);
   ex.gadget = circuit::Circuit(layout.total());
   ftqc::RecoveryOptions ropt;
+  ropt.rounds = spec.scenario.reps();
   ropt.measurement_free = measurement_free;
   ftqc::RecoveryRoundMarks marks;
-  ftqc::append_recovery(ex.gadget, data, anc, ropt, &marks);
-  ex.failed = [data](circuit::TabBackend& b, const circuit::ExecResult&) {
+  ftqc::append_recovery(ex.gadget, code, data, anc, ropt, &marks);
+  const CssCode* c = &code;
+  ex.failed = [data, c](circuit::TabBackend& b, const circuit::ExecResult&) {
     Rng rng(5);
-    Steane::perfect_correct(b.tableau(), data, rng);
-    return Steane::logical_z_expectation(b.tableau(), data) != 1.0;
+    c->perfect_correct(b.tableau(), data, rng);
+    return c->logical_z_expectation(b.tableau(), data) != 1.0;
   };
   ex.seed = spec.seed;
   built.main_block = data;
+  built.code = c;
   // Probe between syndrome rounds / after correction layers only: the
   // recovery rounds are where codespace membership is the meaningful
   // invariant ("is the data block still a codeword between rounds?").
@@ -75,12 +84,37 @@ BuiltGadget build_recovery(const GadgetSpec& spec, bool measurement_free) {
 
 }  // namespace
 
+bool is_known_noise(const std::string& name) {
+  return name == "paper" || name == "correlated" || name == "biased-z";
+}
+
+const codes::CssCode& scenario_code(const Scenario& s) {
+  const codes::CssCode* code = codes::find_code(s.code);
+  EQC_CHECK(code != nullptr && "unknown code name");
+  return *code;
+}
+
+FaultModel scenario_fault_model(const Scenario& s) {
+  EQC_EXPECTS(is_known_noise(s.noise));
+  if (s.noise == "correlated") return FaultModel::FullDepolarizing;
+  if (s.noise == "biased-z") return FaultModel::SingleQubitZ;
+  return FaultModel::SingleQubit;
+}
+
+noise::NoiseModel scenario_noise_model(const Scenario& s, double p) {
+  EQC_EXPECTS(is_known_noise(s.noise));
+  if (s.noise == "correlated") return noise::NoiseModel::depolarizing(p);
+  if (s.noise == "biased-z") return noise::NoiseModel::biased_z(p);
+  return noise::NoiseModel::paper_model(p);
+}
+
 bool is_known_gadget(const std::string& name) {
   return name == "ngate" || name == "recovery" || name == "recovery-measured";
 }
 
 BuiltGadget build_gadget_experiment(const GadgetSpec& spec) {
   EQC_EXPECTS(is_known_gadget(spec.gadget));
+  EQC_EXPECTS(spec.scenario.repetition_k >= 0);
   BuiltGadget built;
   if (spec.gadget == "ngate")
     built = build_ngate(spec);
@@ -88,7 +122,7 @@ BuiltGadget build_gadget_experiment(const GadgetSpec& spec) {
     built = build_recovery(spec, true);
   else
     built = build_recovery(spec, false);
-  if (spec.correlated) built.ex.model = FaultModel::FullDepolarizing;
+  built.ex.model = scenario_fault_model(spec.scenario);
   return built;
 }
 

@@ -10,26 +10,59 @@
 #include <vector>
 
 #include "analysis/fault_enum.h"
-#include "codes/steane.h"
+#include "codes/css_code.h"
+#include "noise/model.h"
 
 namespace eqc::analysis {
 
-/// Declarative description of a gadget fault experiment.  Serializes
-/// naturally (all fields are scalars), which is what makes campaign / MC
-/// job specs journal-able and their resumed runs reproducible.
+/// The (code, repetition k, noise axis) point a gadget experiment is
+/// instantiated at.  All fields are scalars so specs serialize naturally —
+/// the same property that makes campaign / MC job specs journal-able.
+struct Scenario {
+  /// CSS code name: "steane" | "rm15" (codes::find_code names).
+  std::string code = "steane";
+  /// Repetition parameter k; gadgets use 2k+1 classical copies / recovery
+  /// rounds (k = 1 is the paper's 3-round majority vote; k = 0 degrades to
+  /// a single unvoted round).
+  int repetition_k = 1;
+  /// Noise axis: "paper" (single-qubit uniform Pauli), "correlated"
+  /// (full-depolarizing multi-qubit site faults), "biased-z" (dephasing
+  /// dominated, the Z-only enumeration limit).
+  std::string noise = "paper";
+
+  /// The odd repetition count 2k+1 the gadget builders consume.
+  int reps() const { return 2 * repetition_k + 1; }
+};
+
+/// True iff `name` is a noise axis Scenario understands.
+bool is_known_noise(const std::string& name);
+
+/// Resolves the scenario's code; throws ContractViolation when unknown.
+const codes::CssCode& scenario_code(const Scenario& s);
+
+/// Deterministic-enumeration fault model for the scenario's noise axis.
+FaultModel scenario_fault_model(const Scenario& s);
+
+/// Stochastic (Monte-Carlo) noise model at physical error rate `p` for the
+/// scenario's noise axis.
+noise::NoiseModel scenario_noise_model(const Scenario& s, double p);
+
+/// Declarative description of a gadget fault experiment.
 struct GadgetSpec {
   /// "ngate" | "recovery" | "recovery-measured"
   std::string gadget = "ngate";
-  int reps = 3;             ///< N-gate repetitions (1, 3, 5)
-  bool syndrome = true;     ///< N-gate Hamming check (ablation switch)
-  bool correlated = false;  ///< FullDepolarizing instead of the paper model
+  Scenario scenario;        ///< code / repetition / noise point
+  bool syndrome = true;     ///< N-gate parity check (ablation switch)
   std::uint64_t seed = 1;   ///< experiment RNG seed
 };
 
 struct BuiltGadget {
   FaultExperiment ex;
   /// Data/source block, for codespace tripwires.
-  codes::Block main_block;
+  codes::CodeBlock main_block;
+  /// The code the experiment was instantiated with (registry singleton;
+  /// valid for the program's lifetime).
+  const codes::CssCode* code = nullptr;
   /// Preferred tripwire probe ordinals (round boundaries); empty = every
   /// site.
   std::vector<std::size_t> probe_after;
@@ -39,7 +72,7 @@ struct BuiltGadget {
 bool is_known_gadget(const std::string& name);
 
 /// Builds the named experiment.  Throws ContractViolation on an unknown
-/// gadget name.
+/// gadget name, code name, or noise axis.
 BuiltGadget build_gadget_experiment(const GadgetSpec& spec);
 
 }  // namespace eqc::analysis

@@ -24,6 +24,13 @@ void append_site_faults(const FaultSite& site, std::size_t num_qubits,
                   PauliString::single(num_qubits, site.qubits[i], label)});
     return;
   }
+  if (model == FaultModel::SingleQubitZ) {
+    for (std::size_t i = 0; i < k; ++i)
+      out.push_back(
+          Fault{site.ordinal,
+                PauliString::single(num_qubits, site.qubits[i], Pauli::Z)});
+    return;
+  }
   // FullDepolarizing: all 4^k - 1 non-identity patterns.
   const std::uint64_t patterns = std::uint64_t{1} << (2 * k);
   for (std::uint64_t code = 1; code < patterns; ++code) {

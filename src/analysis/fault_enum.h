@@ -30,6 +30,9 @@ enum class FaultModel {
   /// gate faults).  Strictly stronger; see EXPERIMENTS.md for where the two
   /// models diverge.
   FullDepolarizing,
+  /// One Z on ONE qubit of the site — the enumeration counterpart of the
+  /// dephasing-dominated noise::Channel::BiasedZ (the bias-1 limit).
+  SingleQubitZ,
 };
 
 struct FaultExperiment {

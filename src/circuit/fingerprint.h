@@ -1,0 +1,38 @@
+// Canonical 64-bit circuit fingerprint (FNV-1a over the op stream).
+//
+// Two circuits fingerprint equal iff they have the same width and emit the
+// same ops in the same order with the same operands — the byte-identity
+// notion used by the golden-equivalence contract (tests/test_golden_equiv):
+// a generic gadget instantiated with (Steane, k = 1, paper noise) must
+// fingerprint-match the pre-refactor hard-wired builder it replaced.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.h"
+
+namespace eqc::circuit {
+
+inline std::uint64_t fingerprint(const Circuit& c) {
+  constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  auto mix = [](std::uint64_t h, std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= kPrime;
+    }
+    return h;
+  };
+  std::uint64_t h = kOffset;
+  h = mix(h, c.num_qubits(), 8);
+  for (const auto& op : c.ops()) {
+    h = mix(h, static_cast<std::uint64_t>(op.kind), 1);
+    h = mix(h, op.q[0], 4);
+    h = mix(h, op.q[1], 4);
+    h = mix(h, op.q[2], 4);
+    h = mix(h, op.carg, 4);
+  }
+  return h;
+}
+
+}  // namespace eqc::circuit

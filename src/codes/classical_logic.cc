@@ -1,5 +1,7 @@
 #include "codes/classical_logic.h"
 
+#include "common/assert.h"
+
 namespace eqc::codes {
 
 void append_majority3(circuit::Circuit& circ, std::uint32_t a, std::uint32_t b,
@@ -32,6 +34,126 @@ void append_fanout(circuit::Circuit& circ, std::uint32_t source,
 void append_and2_into(circuit::Circuit& circ, std::uint32_t a, std::uint32_t b,
                       std::uint32_t t) {
   circ.ccx(a, b, t);
+}
+
+void append_or_into(circuit::Circuit& circ,
+                    std::span<const std::uint32_t> bits,
+                    std::span<const std::uint32_t> work, std::uint32_t t) {
+  const std::size_t m = bits.size();
+  EQC_EXPECTS(m >= 2 && work.size() >= m - 1);
+  for (auto b : bits) circ.x(b);
+  // work[j] accumulates the AND of the first j+2 negated bits; the last one
+  // is NOR(bits).
+  circ.ccx(bits[0], bits[1], work[0]);
+  for (std::size_t j = 2; j < m; ++j) circ.ccx(work[j - 2], bits[j], work[j - 1]);
+  circ.x(t);
+  circ.cnot(work[m - 2], t);  // t ^= 1 ^ NOR = OR
+}
+
+void append_match_pattern(circuit::Circuit& circ,
+                          std::span<const std::uint32_t> reg, unsigned pattern,
+                          std::span<const std::uint32_t> work,
+                          std::uint32_t target, bool prep_target) {
+  const std::size_t m = reg.size();
+  EQC_EXPECTS(m >= 2 && work.size() + 2 >= m);
+  for (std::size_t j = 0; j + 2 < m; ++j) circ.prep_z(work[j]);
+  if (prep_target) circ.prep_z(target);
+  for (std::size_t j = 0; j < m; ++j)
+    if (!(pattern & (1u << j))) circ.x(reg[j]);
+  if (m == 2) {
+    circ.ccx(reg[0], reg[1], target);
+  } else {
+    circ.ccx(reg[0], reg[1], work[0]);
+    for (std::size_t j = 2; j + 1 < m; ++j)
+      circ.ccx(work[j - 2], reg[j], work[j - 1]);
+    circ.ccx(work[m - 3], reg[m - 1], target);
+  }
+  for (std::size_t j = 0; j < m; ++j)
+    if (!(pattern & (1u << j))) circ.x(reg[j]);
+}
+
+void append_nor_into(circuit::Circuit& circ,
+                     std::span<const std::uint32_t> bits,
+                     std::span<const std::uint32_t> work, std::uint32_t out) {
+  const std::size_t m = bits.size();
+  EQC_EXPECTS(m >= 2 && work.size() + 2 >= m);
+  for (std::size_t j = 0; j + 2 < m; ++j) circ.prep_z(work[j]);
+  circ.prep_z(out);
+  for (auto b : bits) circ.x(b);
+  if (m == 2) {
+    circ.ccx(bits[0], bits[1], out);
+  } else {
+    circ.ccx(bits[0], bits[1], work[0]);
+    for (std::size_t j = 2; j + 1 < m; ++j)
+      circ.ccx(work[j - 2], bits[j], work[j - 1]);
+    circ.ccx(work[m - 3], bits[m - 1], out);
+  }
+}
+
+namespace {
+
+std::size_t counter_width(std::size_t n) {
+  std::size_t w = 0;
+  for (std::size_t v = n; v != 0; v >>= 1) ++w;
+  return w;
+}
+
+}  // namespace
+
+std::size_t count_threshold_scratch(std::size_t nbits) {
+  const std::size_t w = counter_width(nbits);
+  return w + (w > 2 ? w - 2 : 0);
+}
+
+void append_count_threshold(circuit::Circuit& circ,
+                            std::span<const std::uint32_t> bits,
+                            std::size_t min_count,
+                            std::span<const std::uint32_t> scratch,
+                            std::uint32_t t) {
+  const std::size_t m = bits.size();
+  EQC_EXPECTS(m >= 2 && min_count >= 1 && min_count <= m);
+  const std::size_t w = counter_width(m);
+  EQC_EXPECTS(scratch.size() >= count_threshold_scratch(m));
+  const auto counter = scratch.subspan(0, w);
+  const auto work = scratch.subspan(w);
+  for (auto q : scratch.subspan(0, count_threshold_scratch(m)))
+    circ.prep_z(q);
+  for (auto b : bits) {
+    // counter += b: ripple increment, high bits first.  The carry into bit
+    // j needs AND(counter[0..j)); it is computed into the work chain,
+    // applied controlled on b, and uncomputed.
+    for (std::size_t j = w; j-- > 2;) {
+      circ.ccx(counter[1], counter[0], work[0]);
+      for (std::size_t i = 2; i < j; ++i)
+        circ.ccx(work[i - 2], counter[i], work[i - 1]);
+      circ.ccx(b, work[j - 2], counter[j]);
+      for (std::size_t i = j; i-- > 2;)
+        circ.ccx(work[i - 2], counter[i], work[i - 1]);
+      circ.ccx(counter[1], counter[0], work[0]);
+    }
+    if (w >= 2) circ.ccx(b, counter[0], counter[1]);
+    circ.cnot(b, counter[0]);
+  }
+  // Threshold: t ^= [count >= min_count], decoded as the XOR of the
+  // equality matches for every achievable qualifying count.
+  for (std::size_t v = min_count; v <= m; ++v)
+    append_match_pattern(circ, counter, static_cast<unsigned>(v), work, t,
+                         /*prep_target=*/false);
+}
+
+std::size_t majority_counter_scratch(int reps) {
+  return count_threshold_scratch(static_cast<std::size_t>(reps));
+}
+
+void append_majority_counter(circuit::Circuit& circ,
+                             std::span<const std::uint32_t> copies, int reps,
+                             std::span<const std::uint32_t> scratch,
+                             std::uint32_t t) {
+  EQC_EXPECTS(reps >= 3 && reps % 2 == 1);
+  EQC_EXPECTS(copies.size() >= static_cast<std::size_t>(reps));
+  append_count_threshold(circ,
+                         copies.subspan(0, static_cast<std::size_t>(reps)),
+                         static_cast<std::size_t>(reps) / 2 + 1, scratch, t);
 }
 
 }  // namespace eqc::codes

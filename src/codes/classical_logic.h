@@ -34,4 +34,60 @@ void append_fanout(circuit::Circuit& circ, std::uint32_t source,
 void append_and2_into(circuit::Circuit& circ, std::uint32_t a, std::uint32_t b,
                       std::uint32_t t);
 
+// --- code-generic widenings (m-ary OR, pattern match, 2k+1 majority) --------
+//
+// The three gadgets below generalize the fixed-width builders above to any
+// register width; each reduces to the exact op stream of its hard-wired
+// predecessor at the historical width (enforced by the golden-equivalence
+// tests), so the Steane-instantiated gadgets stay byte-identical.
+
+/// t ^= OR(bits).  Generalizes append_or3_into to any |bits| >= 2: flips
+/// every bit in `bits` (left negated) and dirties the |bits|-1 work bits.
+void append_or_into(circuit::Circuit& circ,
+                    std::span<const std::uint32_t> bits,
+                    std::span<const std::uint32_t> work, std::uint32_t t);
+
+/// target ^= [reg == pattern] (reversible pattern match, |reg| >= 2).
+/// Preps the |reg|-2 chain work bits itself — and the target too unless
+/// `prep_target` is false (accumulating XOR-of-matches use).  X negations
+/// on `reg` are restored.
+void append_match_pattern(circuit::Circuit& circ,
+                          std::span<const std::uint32_t> reg, unsigned pattern,
+                          std::span<const std::uint32_t> work,
+                          std::uint32_t target, bool prep_target = true);
+
+/// out ^= NOR(bits) (|bits| >= 2).  Preps the |bits|-2 chain work bits and
+/// `out` itself; flips every bit in `bits` (left negated — callers that
+/// need the original values restore or re-prepare them).
+void append_nor_into(circuit::Circuit& circ,
+                     std::span<const std::uint32_t> bits,
+                     std::span<const std::uint32_t> work, std::uint32_t out);
+
+/// Scratch qubits append_count_threshold needs to count `nbits` bits: a
+/// bit_width(nbits)-wide population counter plus its chain work.
+std::size_t count_threshold_scratch(std::size_t nbits);
+
+/// t ^= [popcount(bits) >= min_count] via a ripple population counter
+/// followed by a threshold decode (XOR of equality matches for every
+/// achievable count >= min_count).  Preps `scratch` itself (not `t`).
+void append_count_threshold(circuit::Circuit& circ,
+                            std::span<const std::uint32_t> bits,
+                            std::size_t min_count,
+                            std::span<const std::uint32_t> scratch,
+                            std::uint32_t t);
+
+/// Scratch qubits append_majority_counter needs for `reps` (odd >= 3)
+/// copies: a bit_width(reps)-wide population counter plus its chain work.
+std::size_t majority_counter_scratch(int reps);
+
+/// t ^= MAJ(copies[0..reps)) via a ripple population counter followed by a
+/// threshold decode (XOR of equality matches for every count > reps/2).
+/// Preps `scratch` itself, so one scratch register serves many targets; no
+/// scratch bit is shared between targets' decodes, preserving the
+/// independence argument of the old majority-of-5 counter.
+void append_majority_counter(circuit::Circuit& circ,
+                             std::span<const std::uint32_t> copies, int reps,
+                             std::span<const std::uint32_t> scratch,
+                             std::uint32_t t);
+
 }  // namespace eqc::codes

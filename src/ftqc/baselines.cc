@@ -1,65 +1,86 @@
 #include "ftqc/baselines.h"
 
-#include "codes/hamming.h"
+#include <vector>
+
 #include "common/assert.h"
 
 namespace eqc::ftqc {
 
 std::uint32_t append_measured_logical_readout(circuit::Circuit& circ,
-                                              const codes::Block& block) {
-  std::array<std::uint32_t, 7> slots;
-  for (int i = 0; i < 7; ++i) slots[i] = circ.measure_z(block.q[i]);
-  return circ.add_classical_func([slots](const std::vector<bool>& bits) {
+                                              const codes::CssCode& code,
+                                              const codes::CodeBlock& block) {
+  EQC_EXPECTS(block.size() == code.n());
+  std::vector<std::uint32_t> slots;
+  slots.reserve(code.n());
+  for (auto q : block.q) slots.push_back(circ.measure_z(q));
+  // The registry codes are function-local statics, so capturing the pointer
+  // is safe for the lifetime of any circuit.
+  const codes::CssCode* c = &code;
+  return circ.add_classical_func([slots, c](const std::vector<bool>& bits) {
     unsigned word = 0;
-    for (int i = 0; i < 7; ++i)
+    for (std::size_t i = 0; i < slots.size(); ++i)
       if (bits[slots[i]]) word |= 1u << i;
-    return codes::Steane::decode_logical_bit(word);
+    return c->decode_logical_bit(word);
   });
 }
 
-void append_measured_t_gadget(circuit::Circuit& circ, const codes::Block& data,
-                              const codes::Block& special) {
-  codes::Steane::append_logical_cnot(circ, data, special);
-  const auto logical = append_measured_logical_readout(circ, special);
+void append_measured_t_gadget(circuit::Circuit& circ,
+                              const codes::CssCode& code,
+                              const codes::CodeBlock& data,
+                              const codes::CodeBlock& special) {
+  EQC_EXPECTS(code.has_transversal_s());
+  code.append_logical_cnot(circ, data, special);
+  const auto logical = append_measured_logical_readout(circ, code, special);
   // Conditioned logical S = bit-wise Sdg.
-  for (int i = 0; i < 7; ++i) circ.sdg_if(logical, data.q[i]);
+  for (std::size_t i = 0; i < code.n(); ++i) circ.sdg_if(logical, data.q[i]);
 }
 
 void append_measured_verification_ec(circuit::Circuit& circ,
-                                     const codes::Block& block,
+                                     const codes::CssCode& code,
+                                     const codes::CodeBlock& block,
                                      std::uint32_t ancilla) {
-  std::array<std::uint32_t, 3> sz, sx;
-  for (int row = 0; row < 3; ++row) {
-    const unsigned mask = codes::Hamming74::kCheckMasks[row];
-    // Z-type check (simple, non-FT extraction — verification is noiseless).
-    circ.prep_z(ancilla);
-    for (int i = 0; i < 7; ++i)
-      if (mask & (1u << i)) circ.cnot(block.q[i], ancilla);
-    sz[row] = circ.measure_z(ancilla);
-    // X-type check.
-    circ.prep_z(ancilla);
-    circ.h(ancilla);
-    for (int i = 0; i < 7; ++i)
-      if (mask & (1u << i)) circ.cnot(ancilla, block.q[i]);
-    circ.h(ancilla);
-    sx[row] = circ.measure_z(ancilla);
+  const std::size_t mz = code.num_z_checks();
+  const std::size_t mx = code.num_x_checks();
+  std::vector<std::uint32_t> sz(mz), sx(mx);
+  // Z- and X-type checks interleaved row by row (one shared scratch qubit).
+  for (std::size_t row = 0; row < std::max(mz, mx); ++row) {
+    if (row < mz) {
+      // Z-type check (simple, non-FT extraction — verification is
+      // noiseless).
+      const unsigned mask = code.z_check_mask(row);
+      circ.prep_z(ancilla);
+      for (std::size_t i = 0; i < code.n(); ++i)
+        if (mask & (1u << i)) circ.cnot(block.q[i], ancilla);
+      sz[row] = circ.measure_z(ancilla);
+    }
+    if (row < mx) {
+      // X-type check.
+      const unsigned mask = code.x_check_mask(row);
+      circ.prep_z(ancilla);
+      circ.h(ancilla);
+      for (std::size_t i = 0; i < code.n(); ++i)
+        if (mask & (1u << i)) circ.cnot(ancilla, block.q[i]);
+      circ.h(ancilla);
+      sx[row] = circ.measure_z(ancilla);
+    }
   }
-  for (int i = 0; i < 7; ++i) {
-    const unsigned pattern = static_cast<unsigned>(i + 1);
+  for (std::size_t i = 0; i < code.n(); ++i) {
+    const unsigned pz = code.z_syndrome_of_x_error(i);
     const auto fz =
-        circ.add_classical_func([sz, pattern](const std::vector<bool>& bits) {
+        circ.add_classical_func([sz, pz](const std::vector<bool>& bits) {
           unsigned s = 0;
-          for (int row = 0; row < 3; ++row)
+          for (std::size_t row = 0; row < sz.size(); ++row)
             if (bits[sz[row]]) s |= 1u << row;
-          return s == pattern;
+          return s == pz;
         });
     circ.x_if(fz, block.q[i]);
+    const unsigned px = code.x_syndrome_of_z_error(i);
     const auto fx =
-        circ.add_classical_func([sx, pattern](const std::vector<bool>& bits) {
+        circ.add_classical_func([sx, px](const std::vector<bool>& bits) {
           unsigned s = 0;
-          for (int row = 0; row < 3; ++row)
+          for (std::size_t row = 0; row < sx.size(); ++row)
             if (bits[sx[row]]) s |= 1u << row;
-          return s == pattern;
+          return s == px;
         });
     circ.z_if(fx, block.q[i]);
   }
@@ -90,6 +111,28 @@ void append_measured_toffoli_gadget_bare(circuit::Circuit& circ,
   circ.cnot_if(f1, r.b, r.c);
   circ.cnot_if(f2, r.a, r.c);
   circ.x_if(f12, r.c);
+}
+
+// --- Steane-block compatibility overloads ----------------------------------
+
+std::uint32_t append_measured_logical_readout(circuit::Circuit& circ,
+                                              const codes::Block& block) {
+  return append_measured_logical_readout(circ, codes::steane_code(),
+                                         codes::CodeBlock::of(block));
+}
+
+void append_measured_t_gadget(circuit::Circuit& circ, const codes::Block& data,
+                              const codes::Block& special) {
+  append_measured_t_gadget(circ, codes::steane_code(),
+                           codes::CodeBlock::of(data),
+                           codes::CodeBlock::of(special));
+}
+
+void append_measured_verification_ec(circuit::Circuit& circ,
+                                     const codes::Block& block,
+                                     std::uint32_t ancilla) {
+  append_measured_verification_ec(circ, codes::steane_code(),
+                                  codes::CodeBlock::of(block), ancilla);
 }
 
 }  // namespace eqc::ftqc

@@ -1,6 +1,7 @@
 #include "ftqc/ft_toffoli.h"
 
 #include "common/assert.h"
+#include "ftqc/layout.h"
 
 namespace eqc::ftqc {
 
@@ -45,45 +46,83 @@ void append_bare_toffoli_gadget(circuit::Circuit& circ,
 }
 
 void append_coded_toffoli_gadget(circuit::Circuit& circ,
+                                 const codes::CssCode& code,
                                  const CodedToffoliRegs& r,
                                  const NGateOptions& options) {
-  constexpr std::size_t kN = codes::Steane::kN;
-  EQC_EXPECTS(r.m1.size() == kN && r.m2.size() == kN && r.m3.size() == kN &&
-              r.m12.size() == kN);
+  // Bit-wise CZ/CCZ must be logical, i.e. the code must be self-dual.
+  EQC_EXPECTS(code.self_dual());
+  const std::size_t n = code.n();
+  EQC_EXPECTS(r.m1.size() == n && r.m2.size() == n && r.m3.size() == n &&
+              r.m12.size() == n);
 
   // 1. Transversal entangling layer.
-  codes::Steane::append_logical_cnot(circ, r.a, r.x);
-  codes::Steane::append_logical_cnot(circ, r.b, r.y);
-  codes::Steane::append_logical_cnot(circ, r.z, r.c);
-  codes::Steane::append_logical_h(circ, r.z);
+  code.append_logical_cnot(circ, r.a, r.x);
+  code.append_logical_cnot(circ, r.b, r.y);
+  code.append_logical_cnot(circ, r.z, r.c);
+  code.append_logical_h(circ, r.z);
 
   // 2. Three N gates (measurement replacements).
-  append_ngate(circ, r.x, r.m1, r.n_anc, options);
-  append_ngate(circ, r.y, r.m2, r.n_anc, options);
-  append_ngate(circ, r.z, r.m3, r.n_anc, options);
+  append_ngate(circ, code, r.x, r.m1, r.n_anc, options);
+  append_ngate(circ, code, r.y, r.m2, r.n_anc, options);
+  append_ngate(circ, code, r.z, r.m3, r.n_anc, options);
 
-  // 3a. Phase corrections (bit-wise CZ = logical CZ on the Steane code).
-  for (std::size_t i = 0; i < kN; ++i) circ.cz(r.m3[i], r.c.q[i]);
-  for (std::size_t i = 0; i < kN; ++i) circ.ccz(r.m3[i], r.a.q[i], r.b.q[i]);
+  // 3a. Phase corrections (bit-wise CZ = logical CZ on a self-dual code).
+  for (std::size_t i = 0; i < n; ++i) circ.cz(r.m3[i], r.c.q[i]);
+  for (std::size_t i = 0; i < n; ++i) circ.ccz(r.m3[i], r.a.q[i], r.b.q[i]);
 
   // 3b. Value corrections.
-  for (std::size_t i = 0; i < kN; ++i) circ.cnot(r.m1[i], r.a.q[i]);
-  for (std::size_t i = 0; i < kN; ++i) circ.cnot(r.m2[i], r.b.q[i]);
+  for (std::size_t i = 0; i < n; ++i) circ.cnot(r.m1[i], r.a.q[i]);
+  for (std::size_t i = 0; i < n; ++i) circ.cnot(r.m2[i], r.b.q[i]);
 
   // 3c. Cross terms; M12 is computed with *classical* Toffolis — the gate
   //     the catch-22 said we could not have, made harmless by the classical
   //     basis (paper Sec. 5).
-  for (std::size_t i = 0; i < kN; ++i) circ.ccx(r.m1[i], r.b.q[i], r.c.q[i]);
-  for (std::size_t i = 0; i < kN; ++i) circ.ccx(r.m2[i], r.a.q[i], r.c.q[i]);
+  for (std::size_t i = 0; i < n; ++i) circ.ccx(r.m1[i], r.b.q[i], r.c.q[i]);
+  for (std::size_t i = 0; i < n; ++i) circ.ccx(r.m2[i], r.a.q[i], r.c.q[i]);
   for (auto q : r.m12) circ.prep_z(q);
-  for (std::size_t i = 0; i < kN; ++i) circ.ccx(r.m1[i], r.m2[i], r.m12[i]);
-  for (std::size_t i = 0; i < kN; ++i) circ.cnot(r.m12[i], r.c.q[i]);
+  for (std::size_t i = 0; i < n; ++i) circ.ccx(r.m1[i], r.m2[i], r.m12[i]);
+  for (std::size_t i = 0; i < n; ++i) circ.cnot(r.m12[i], r.c.q[i]);
 }
+
+void append_coded_toffoli(circuit::Circuit& circ, const codes::CssCode& code,
+                          const CodedToffoliRegs& r,
+                          const NGateOptions& options) {
+  append_and_state_prep(circ, code, r.a, r.b, r.c, r.ss_anc,
+                        options.repetitions);
+  append_coded_toffoli_gadget(circ, code, r, options);
+}
+
+CodedToffoliRegs allocate_coded_toffoli_registers(Layout& layout,
+                                                  const codes::CssCode& code,
+                                                  int repetitions) {
+  CodedToffoliRegs regs;
+  regs.a = layout.block(code);
+  regs.b = layout.block(code);
+  regs.c = layout.block(code);
+  regs.x = layout.block(code);
+  regs.y = layout.block(code);
+  regs.z = layout.block(code);
+  regs.ss_anc =
+      allocate_special_state_ancillas(layout, code.n(), repetitions);
+  regs.n_anc = allocate_ngate_ancillas(layout, code, repetitions);
+  regs.m1 = layout.reg(code.n());
+  regs.m2 = layout.reg(code.n());
+  regs.m3 = layout.reg(code.n());
+  regs.m12 = layout.reg(code.n());
+  return regs;
+}
+
+// --- Steane compatibility overloads ----------------------------------------
 
 void append_coded_toffoli(circuit::Circuit& circ, const CodedToffoliRegs& r,
                           const NGateOptions& options) {
-  append_and_state_prep(circ, r.a, r.b, r.c, r.ss_anc, options.repetitions);
-  append_coded_toffoli_gadget(circ, r, options);
+  append_coded_toffoli(circ, codes::steane_code(), r, options);
+}
+
+void append_coded_toffoli_gadget(circuit::Circuit& circ,
+                                 const CodedToffoliRegs& r,
+                                 const NGateOptions& options) {
+  append_coded_toffoli_gadget(circ, codes::steane_code(), r, options);
 }
 
 }  // namespace eqc::ftqc

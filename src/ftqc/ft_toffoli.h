@@ -21,6 +21,7 @@
 #pragma once
 
 #include "circuit/circuit.h"
+#include "codes/css_code.h"
 #include "codes/steane.h"
 #include "ftqc/ngate.h"
 #include "ftqc/special_state.h"
@@ -47,21 +48,38 @@ void append_bare_toffoli_gadget(circuit::Circuit& circ,
 // --- Full-code version (built for the fault-propagation analysis) ---------
 
 struct CodedToffoliRegs {
-  codes::Block a, b, c;  ///< |AND> blocks -> outputs
-  codes::Block x, y, z;  ///< data blocks (consumed)
+  codes::CodeBlock a, b, c;  ///< |AND> blocks -> outputs
+  codes::CodeBlock x, y, z;  ///< data blocks (consumed)
   SpecialStateAncillas ss_anc;
   NGateAncillas n_anc;  ///< reused for all three N gates
-  std::vector<std::uint32_t> m1, m2, m3, m12;  ///< width-7 classical regs
+  std::vector<std::uint32_t> m1, m2, m3, m12;  ///< width-n classical regs
 };
 
 /// Appends |AND> preparation (Fig. 2 scheme) plus the Fig. 4 gadget on
-/// Steane-encoded blocks.  Runs on the state-vector backend only in
-/// principle (42+ qubits); its purpose here is exhaustive error-propagation
-/// analysis (see src/analysis).
-void append_coded_toffoli(circuit::Circuit& circ, const CodedToffoliRegs& regs,
+/// encoded blocks of a self-dual code (bit-wise CZ/CCZ must be logical).
+/// Runs on the state-vector backend only in principle (42+ qubits); its
+/// purpose here is exhaustive error-propagation analysis (see src/analysis).
+void append_coded_toffoli(circuit::Circuit& circ, const codes::CssCode& code,
+                          const CodedToffoliRegs& regs,
                           const NGateOptions& options = {});
 
 /// The gadget only (assumes |AND> already on a,b,c).
+void append_coded_toffoli_gadget(circuit::Circuit& circ,
+                                 const codes::CssCode& code,
+                                 const CodedToffoliRegs& regs,
+                                 const NGateOptions& options = {});
+
+/// Allocates the six blocks, special-state + N-gate ancillas and the four
+/// classical registers in the canonical order.
+CodedToffoliRegs allocate_coded_toffoli_registers(class Layout& layout,
+                                                  const codes::CssCode& code,
+                                                  int repetitions = 3);
+
+// --- Steane compatibility overloads ----------------------------------------
+
+void append_coded_toffoli(circuit::Circuit& circ, const CodedToffoliRegs& regs,
+                          const NGateOptions& options = {});
+
 void append_coded_toffoli_gadget(circuit::Circuit& circ,
                                  const CodedToffoliRegs& regs,
                                  const NGateOptions& options = {});

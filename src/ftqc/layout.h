@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "codes/css_code.h"
 #include "codes/steane.h"
 #include "common/assert.h"
 
@@ -23,11 +24,32 @@ class Layout {
     return out;
   }
 
-  /// Allocates a 7-qubit code block.
-  codes::Block block() {
+  /// Allocates an n-qubit code block for `code`.
+  codes::CodeBlock block(const codes::CssCode& code) {
+    return code_block(code.n());
+  }
+
+  /// Allocates an `n`-qubit contiguous block.
+  codes::CodeBlock code_block(std::size_t n) {
+    const auto b = codes::CodeBlock::contiguous(next_, n);
+    next_ += static_cast<std::uint32_t>(n);
+    return b;
+  }
+
+  /// Allocates a fixed-size Steane block (for the Steane-specific builders
+  /// that still take codes::Block).
+  codes::Block steane_block() {
     const auto b = codes::Block::contiguous(next_);
     next_ += 7;
     return b;
+  }
+
+  /// Deprecated: the historical hard-coded 7-qubit allocation — the one
+  /// implicit Steane assumption this helper used to bake in.  Use
+  /// block(const codes::CssCode&) (code-generic) or steane_block()
+  /// (explicitly Steane) instead.
+  [[deprecated("use block(code) or steane_block()")]] codes::Block block() {
+    return steane_block();
   }
 
   /// Total number of qubits handed out so far.

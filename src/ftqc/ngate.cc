@@ -1,82 +1,76 @@
 #include "ftqc/ngate.h"
 
+#include <vector>
+
 #include "codes/classical_logic.h"
-#include "codes/hamming.h"
 #include "common/assert.h"
 #include "ftqc/layout.h"
 
 namespace eqc::ftqc {
 
-void append_n1(circuit::Circuit& circ, const codes::Block& source,
-               std::uint32_t target,
-               const std::array<std::uint32_t, 3>& syndrome,
-               const std::array<std::uint32_t, 2>& work,
-               bool syndrome_check) {
+void append_n1(circuit::Circuit& circ, const codes::CssCode& code,
+               const codes::CodeBlock& source, std::uint32_t target,
+               std::span<const std::uint32_t> syndrome,
+               std::span<const std::uint32_t> work, bool syndrome_check) {
+  const std::size_t mz = code.num_z_checks();
+  EQC_EXPECTS(source.size() == code.n());
+  EQC_EXPECTS(!syndrome_check ||
+              (syndrome.size() >= mz && work.size() + 1 >= mz));
   circ.prep_z(target);
   if (syndrome_check) {
-    for (auto s : syndrome) circ.prep_z(s);
-    for (auto w : work) circ.prep_z(w);
-    // Hamming parity checks of the quantum ancilla into the syndrome bits.
-    for (int row = 0; row < 3; ++row) {
-      const unsigned mask = codes::Hamming74::kCheckMasks[row];
-      for (int i = 0; i < 7; ++i)
+    for (std::size_t row = 0; row < mz; ++row) circ.prep_z(syndrome[row]);
+    for (std::size_t j = 0; j + 1 < mz; ++j) circ.prep_z(work[j]);
+    // Classical Z-type parity checks of the quantum ancilla into the
+    // syndrome bits.
+    for (std::size_t row = 0; row < mz; ++row) {
+      const unsigned mask = code.z_check_mask(row);
+      for (std::size_t i = 0; i < code.n(); ++i)
         if (mask & (1u << i)) circ.cnot(source.q[i], syndrome[row]);
     }
   }
   // Parity of the whole block = logical Z value (corrected below).
-  for (int i = 0; i < 7; ++i) circ.cnot(source.q[i], target);
+  for (std::size_t i = 0; i < code.n(); ++i) circ.cnot(source.q[i], target);
   if (syndrome_check) {
-    // b ^= OR(s): a single pre-existing bit error flips the block parity
-    // *and* raises a non-zero syndrome, so the two cancel.
-    codes::append_or3_into(circ, syndrome[0], syndrome[1], syndrome[2],
-                           work[0], work[1], target);
+    // b ^= parity(min_weight_error(s)): pre-existing bit errors flip the
+    // block parity by their weight, and the parity of the error class the
+    // syndrome decodes to cancels that flip.  OR(s) computes exactly that
+    // for every ODD-weight correctable error — all single-qubit errors
+    // and weight-3 bursts — and no LINEAR compensation can do better on a
+    // non-perfect code (it would need the all-ones word in H_z's row
+    // space, impossible when the logical coset of ker H_z has odd-weight
+    // elements, as for RM15).  The only EVEN-weight errors a single fault
+    // can leave on the source block are weight-2 pairs inside one burst-
+    // repair register bit's fanout set (codes::z_repair_plan); on those
+    // few syndromes — distinct from every odd-error syndrome because the
+    // code corrects weight 2 — a match term cancels the OR, so b reads
+    // parity(error) = 0 and no bogus X_L fires downstream.  Perfect codes
+    // have an empty pair set (seed circuits unchanged).
+    const std::vector<unsigned> pair_syndromes =
+        codes::z_repair_even_pair_syndromes(code);
+    for (const unsigned pair_syndrome : pair_syndromes)
+      codes::append_match_pattern(circ, syndrome.subspan(0, mz), pair_syndrome,
+                                  work.subspan(0, mz - 1), target,
+                                  /*prep_target=*/false);
+    // The match chains leave the work bits dirty; the OR needs them clean.
+    if (!pair_syndromes.empty())
+      for (std::size_t j = 0; j + 1 < mz; ++j) circ.prep_z(work[j]);
+    codes::append_or_into(circ, syndrome.subspan(0, mz),
+                          work.subspan(0, mz - 1), target);
   }
 }
 
-namespace {
-
-// target ^= MAJ(copies[0..4]) via an independent 3-bit population counter —
-// no intermediate bit is shared between output bits, so even a correlated
-// multi-qubit gate fault damages at most one output bit and one copy.
-void append_majority5_into(circuit::Circuit& circ,
-                           std::span<const std::uint32_t> copies,
-                           const std::array<std::uint32_t, 5>& scratch,
-                           std::uint32_t target) {
-  const auto c0 = scratch[0], c1 = scratch[1], c2 = scratch[2];
-  const auto w = scratch[3], w2 = scratch[4];
-  for (auto q : scratch) circ.prep_z(q);
-  for (int r = 0; r < 5; ++r) {
-    const auto b = copies[r];
-    // counter += b  (3-bit ripple increment, controlled on b).
-    circ.ccx(c1, c0, w);
-    circ.ccx(b, w, c2);
-    circ.ccx(c1, c0, w);  // uncompute the carry conjunction
-    circ.ccx(b, c0, c1);
-    circ.cnot(b, c0);
-  }
-  // MAJ = count >= 3 = c2 OR (c1 AND c0).
-  circ.ccx(c1, c0, w2);
-  circ.x(c2);
-  circ.x(w2);
-  circ.ccx(c2, w2, target);  // target ^= NOR(c2, w2)
-  circ.x(target);            // target ^= 1  => target ^= OR(c2, w2)
-  circ.x(c2);
-  circ.x(w2);
-}
-
-}  // namespace
-
-void append_ngate(circuit::Circuit& circ, const codes::Block& source,
+void append_ngate(circuit::Circuit& circ, const codes::CssCode& code,
+                  const codes::CodeBlock& source,
                   std::span<const std::uint32_t> out, const NGateAncillas& anc,
                   const NGateOptions& options) {
-  EQC_EXPECTS(options.repetitions == 1 || options.repetitions == 3 ||
-              options.repetitions == 5);
-  EQC_EXPECTS(anc.copies.size() >= static_cast<std::size_t>(options.repetitions));
+  EQC_EXPECTS(options.repetitions >= 1 && options.repetitions % 2 == 1);
+  EQC_EXPECTS(anc.copies.size() >=
+              static_cast<std::size_t>(options.repetitions));
   EQC_EXPECTS(!out.empty());
 
   for (int r = 0; r < options.repetitions; ++r)
-    append_n1(circ, source, anc.copies[r], anc.syndrome, anc.work,
-              options.syndrome_check);
+    append_n1(circ, code, source, anc.copies[static_cast<std::size_t>(r)],
+              anc.syndrome, anc.work, options.syndrome_check);
 
   for (auto o : out) circ.prep_z(o);
   if (options.repetitions == 1) {
@@ -85,20 +79,47 @@ void append_ngate(circuit::Circuit& circ, const codes::Block& source,
     codes::append_majority3(circ, anc.copies[0], anc.copies[1], anc.copies[2],
                             out);
   } else {
+    // One independent population count per output bit — no intermediate bit
+    // is shared between output bits, so even a correlated multi-qubit gate
+    // fault damages at most one output bit and one copy.
     for (auto o : out)
-      append_majority5_into(circ, anc.copies, anc.maj5_scratch, o);
+      codes::append_majority_counter(circ, anc.copies, options.repetitions,
+                                     anc.maj_scratch, o);
   }
 }
 
-NGateAncillas allocate_ngate_ancillas(Layout& layout, int repetitions) {
+NGateAncillas allocate_ngate_ancillas(Layout& layout,
+                                      const codes::CssCode& code,
+                                      int repetitions) {
+  EQC_EXPECTS(repetitions >= 1 && repetitions % 2 == 1);
   NGateAncillas anc;
   anc.copies = layout.reg(static_cast<std::size_t>(repetitions));
-  anc.syndrome = {layout.bit(), layout.bit(), layout.bit()};
-  anc.work = {layout.bit(), layout.bit()};
-  if (repetitions == 5)
-    anc.maj5_scratch = {layout.bit(), layout.bit(), layout.bit(),
-                        layout.bit(), layout.bit()};
+  anc.syndrome = layout.reg(code.num_z_checks());
+  anc.work = layout.reg(code.num_z_checks() - 1);
+  if (repetitions >= 5)
+    anc.maj_scratch = layout.reg(codes::majority_counter_scratch(repetitions));
   return anc;
+}
+
+// --- Steane-block compatibility overloads ----------------------------------
+
+void append_n1(circuit::Circuit& circ, const codes::Block& source,
+               std::uint32_t target,
+               const std::array<std::uint32_t, 3>& syndrome,
+               const std::array<std::uint32_t, 2>& work, bool syndrome_check) {
+  append_n1(circ, codes::steane_code(), codes::CodeBlock::of(source), target,
+            syndrome, work, syndrome_check);
+}
+
+void append_ngate(circuit::Circuit& circ, const codes::Block& source,
+                  std::span<const std::uint32_t> out, const NGateAncillas& anc,
+                  const NGateOptions& options) {
+  append_ngate(circ, codes::steane_code(), codes::CodeBlock::of(source), out,
+               anc, options);
+}
+
+NGateAncillas allocate_ngate_ancillas(Layout& layout, int repetitions) {
+  return allocate_ngate_ancillas(layout, codes::steane_code(), repetitions);
 }
 
 }  // namespace eqc::ftqc

@@ -7,12 +7,17 @@
 //
 // One repetition (N1) computes into a fresh target bit
 //     b  ^=  parity(block)  XOR  OR(syndrome bits)
-// where the three syndrome bits are the Hamming parity checks of the block.
+// where the syndrome bits are the code's classical Z-type parity checks of
+// the block (the three Hamming checks for Steane, ten checks for RM15).
 // The OR-correction makes the copy immune to any single bit error already
 // present on the quantum ancilla; repeating N1 2k+1 times and majority
 // voting protects against faults inside N1 itself.  Phase errors flow only
 // backwards (classical ancilla -> quantum ancilla), never into quantum data
 // that the classical register later controls — the paper's key observation.
+//
+// The builders are generic over codes::CssCode; the Block-based overloads
+// keep the historical Steane signatures and emit byte-identical circuits
+// (the golden-equivalence contract).
 #pragma once
 
 #include <array>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "codes/css_code.h"
 #include "codes/steane.h"
 
 namespace eqc::ftqc {
@@ -28,42 +34,60 @@ namespace eqc::ftqc {
 struct NGateAncillas {
   /// 2k+1 fresh target bits, one per repetition.
   std::vector<std::uint32_t> copies;
-  /// Syndrome-check bits (re-prepared every repetition).
-  std::array<std::uint32_t, 3> syndrome;
-  /// Work bits for the OR gadget (re-prepared every repetition).
-  std::array<std::uint32_t, 2> work;
-  /// Counter scratch for the majority-of-5 vote (repetitions == 5 only):
-  /// 3 counter bits + 2 work bits, re-prepared per output bit.
-  std::array<std::uint32_t, 5> maj5_scratch{};
+  /// Syndrome-check bits, one per Z-type check (re-prepared every
+  /// repetition).
+  std::vector<std::uint32_t> syndrome;
+  /// Work bits for the OR gadget: one fewer than the syndrome width
+  /// (re-prepared every repetition).
+  std::vector<std::uint32_t> work;
+  /// Counter scratch for the 2k+1 >= 5 majority vote (see
+  /// codes::majority_counter_scratch); empty for repetitions <= 3.
+  std::vector<std::uint32_t> maj_scratch;
 };
 
 struct NGateOptions {
-  /// Number of N1 repetitions.  The paper's 2k+1 = 3 suffices for k = 1
-  /// under its per-location single-qubit fault model; 5 repetitions
-  /// (k' = 2, with an independent majority counter per output bit) also
-  /// absorb the correlated two-qubit gate faults documented in E1(b').
+  /// Number of N1 repetitions: any odd 2k+1 >= 1.  The paper's 3 suffices
+  /// for k = 1 under its per-location single-qubit fault model; 5 (k' = 2,
+  /// with an independent majority counter per output bit) also absorbs the
+  /// correlated two-qubit gate faults documented in E1(b').
   int repetitions = 3;
-  /// Ablation switch: disable the Hamming syndrome check inside N1.
-  /// Without it a single pre-existing bit error on the quantum ancilla
-  /// corrupts *every* repetition and defeats the majority vote.
+  /// Ablation switch: disable the syndrome check inside N1.  Without it a
+  /// single pre-existing bit error on the quantum ancilla corrupts *every*
+  /// repetition and defeats the majority vote.
   bool syndrome_check = true;
 };
 
 /// One repetition of the Fig. 1 circuit; prepares target/syndrome/work to
 /// |0> itself, so ancillas can be reused across repetitions.
+void append_n1(circuit::Circuit& circ, const codes::CssCode& code,
+               const codes::CodeBlock& source, std::uint32_t target,
+               std::span<const std::uint32_t> syndrome,
+               std::span<const std::uint32_t> work, bool syndrome_check);
+
+/// Full N gate: repetitions of N1 followed by a majority vote copied into
+/// every bit of `out` ("copy the result into seven bits").  `out` may alias
+/// nothing in `anc`; out bits are prepared to |0> here.
+void append_ngate(circuit::Circuit& circ, const codes::CssCode& code,
+                  const codes::CodeBlock& source,
+                  std::span<const std::uint32_t> out, const NGateAncillas& anc,
+                  const NGateOptions& options = {});
+
+/// Allocates the ancillas append_ngate needs for `code`.
+NGateAncillas allocate_ngate_ancillas(class Layout& layout,
+                                      const codes::CssCode& code,
+                                      int repetitions = 3);
+
+// --- Steane-block compatibility overloads ----------------------------------
+
 void append_n1(circuit::Circuit& circ, const codes::Block& source,
                std::uint32_t target,
                const std::array<std::uint32_t, 3>& syndrome,
                const std::array<std::uint32_t, 2>& work, bool syndrome_check);
 
-/// Full N gate: repetitions of N1 followed by a majority vote copied into
-/// every bit of `out` ("copy the result into seven bits").  `out` may alias
-/// nothing in `anc`; out bits are prepared to |0> here.
 void append_ngate(circuit::Circuit& circ, const codes::Block& source,
                   std::span<const std::uint32_t> out, const NGateAncillas& anc,
                   const NGateOptions& options = {});
 
-/// Convenience: number of distinct ancilla qubits append_ngate needs.
 NGateAncillas allocate_ngate_ancillas(class Layout& layout,
                                       int repetitions = 3);
 

@@ -8,59 +8,69 @@
 // No measurement anywhere.
 //
 // Syndrome extraction is Steane-style: a |+>_L ancilla block is the TARGET
-// of a transversal CNOT from the data, then its three Hamming parities are
-// copied onto classical syndrome bits.  This direction is intrinsically
+// of a transversal CNOT from the data, then its classical Z-type parities
+// are copied onto classical syndrome bits.  This direction is intrinsically
 // fault tolerant without verified ancillas: ancilla bit errors (even the
-// weight-3 patterns an unverified encoder can produce) only garble one
-// round's syndrome, and ancilla phase errors touch at most one data qubit.
-// X-type checks reuse the same machinery inside a transversal-H frame on
-// the data.
+// burst patterns an unverified encoder can produce) only garble one round's
+// syndrome, and ancilla phase errors touch at most one data qubit.  For a
+// self-dual code (Steane) the X-type checks reuse the same machinery inside
+// a transversal-H frame on the data; for a non-self-dual code (RM15, whose
+// transversal H is not logical H) they instead use a repaired |0>_L ancilla
+// as the CONTROL of the transversal CNOT: data phase errors copy onto the
+// ancilla, a raw qubit-wise H turns them into bit errors, and the X-type
+// parities read them out (H^(x)n |0>_L is a uniform codeword superposition
+// of the dual code, on which those parities are deterministic).
 //
 // The syndrome is extracted `rounds` (2k+1) times and combined by
 // WORD-level agreement ("use a syndrome that two rounds agree on, else do
 // nothing"), which—unlike bitwise majority—is immune to the classic race
 // where a data error lands mid-round and the mixed syndrome decodes to a
-// wrong position.
+// wrong position.  For rounds >= 5 the rule generalizes to counting: use
+// the first round whose word k other rounds agree with (a word reaching
+// that count is unique when at most k of 2k+1 rounds are faulty).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "codes/css_code.h"
 #include "codes/steane.h"
 #include "ftqc/ngate.h"
 
 namespace eqc::ftqc {
 
 struct RecoveryAncillas {
-  /// Syndrome ancilla block (|+>_L), re-prepared for every extraction.
-  codes::Block anc_block;
-  /// Classical scratch for the ancilla's burst repair: two syndrome reads
-  /// (3+3), an agreement bit + AND work bit, and the gated repair syndrome.
-  std::array<std::uint32_t, 3> prep_syn1;
-  std::array<std::uint32_t, 3> prep_syn2;
-  std::uint32_t prep_work;
-  std::uint32_t prep_eq;
-  std::array<std::uint32_t, 3> prep_repair;
-  /// N-gate machinery for the ancilla's logical-parity repair: the Hamming
-  /// repair maps any encoder burst into the code, but possibly into the
-  /// wrong (|1>_L) coset; the N gate reads the logical bit onto a 7-wide
-  /// classical register which then controls a bit-wise X_L repair.
+  /// Syndrome ancilla block (n qubits), re-prepared for every extraction.
+  codes::CodeBlock anc_block;
+  /// Classical scratch for the ancilla's burst repair: two Z-type syndrome
+  /// reads (mz each), the NOR chain + agreement bit, and the gated repair
+  /// syndrome.
+  std::vector<std::uint32_t> prep_syn1;    ///< mz
+  std::vector<std::uint32_t> prep_syn2;    ///< mz
+  std::vector<std::uint32_t> prep_work;    ///< max(1, mz-2)
+  std::uint32_t prep_eq = 0;
+  std::vector<std::uint32_t> prep_repair;  ///< mz
+  /// N-gate machinery for the ancilla's logical-parity repair: the burst
+  /// repair (one-hot for perfect codes, information-set solve otherwise —
+  /// see codes::z_repair_plan) maps any encoder burst into the code, but
+  /// possibly into the wrong (|1>_L) coset; the N gate reads the logical
+  /// bit onto an n-wide classical register which then controls a bit-wise
+  /// X_L repair.
   NGateAncillas prep_n;
-  std::vector<std::uint32_t> prep_nout;  ///< width 7
-  /// Classical syndrome bits: [round*3 + row], per check type.
-  std::vector<std::uint32_t> syn_z;  ///< Z-type checks (detect X errors)
-  std::vector<std::uint32_t> syn_x;  ///< X-type checks (detect Z errors)
+  std::vector<std::uint32_t> prep_nout;  ///< n
+  /// Classical syndrome bits: [round*width + row], per check type.
+  std::vector<std::uint32_t> syn_z;  ///< rounds*mz, Z-type (detect X errors)
+  std::vector<std::uint32_t> syn_x;  ///< rounds*mx, X-type (detect Z errors)
   // Classical scratch for the word-agreement vote (reused per type).
-  std::array<std::uint32_t, 3> diff;
-  std::uint32_t and_work;
-  std::array<std::uint32_t, 3> eq;   ///< s1==s2, s1==s3, s2==s3
-  std::array<std::uint32_t, 2> use_bits;
-  std::array<std::uint32_t, 3> voted;
+  std::vector<std::uint32_t> diff;      ///< max(mz, mx)
+  std::vector<std::uint32_t> and_work;  ///< NOR chains + count-threshold
+  std::vector<std::uint32_t> eq;        ///< C(max(rounds,3), 2) pair bits
+  std::vector<std::uint32_t> use_bits;  ///< max(rounds,3) - 1
+  std::vector<std::uint32_t> voted;     ///< max(mz, mx)
   /// One-hot correction controls (reused per type) + decode scratch.
-  std::vector<std::uint32_t> onehot;  ///< 7
-  std::uint32_t decode_work;
+  std::vector<std::uint32_t> onehot;       ///< n
+  std::vector<std::uint32_t> decode_work;  ///< max(1, max(mz,mx)-2)
 };
 
 struct RecoveryOptions {
@@ -85,6 +95,17 @@ struct RecoveryRoundMarks {
 
 /// Appends one complete error-recovery step for `data`.  When `marks` is
 /// non-null, stage boundaries are recorded for mid-circuit probing.
+void append_recovery(circuit::Circuit& circ, const codes::CssCode& code,
+                     const codes::CodeBlock& data, const RecoveryAncillas& anc,
+                     const RecoveryOptions& options = {},
+                     RecoveryRoundMarks* marks = nullptr);
+
+RecoveryAncillas allocate_recovery_ancillas(class Layout& layout,
+                                            const codes::CssCode& code,
+                                            int rounds = 3);
+
+// --- Steane-block compatibility overloads ----------------------------------
+
 void append_recovery(circuit::Circuit& circ, const codes::Block& data,
                      const RecoveryAncillas& anc,
                      const RecoveryOptions& options = {},

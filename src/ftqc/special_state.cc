@@ -11,7 +11,7 @@ void append_special_state_projection(circuit::Circuit& circ,
                                      const SpecialStateOps& ops,
                                      const SpecialStateAncillas& anc,
                                      int repetitions) {
-  EQC_EXPECTS(repetitions == 1 || repetitions == 3);
+  EQC_EXPECTS(repetitions >= 1 && repetitions % 2 == 1);
   EQC_EXPECTS(anc.cat.size() == ops.width);
   EQC_EXPECTS(anc.control.size() == ops.width);
   EQC_EXPECTS(anc.parity.size() >= static_cast<std::size_t>(repetitions));
@@ -35,8 +35,9 @@ void append_special_state_projection(circuit::Circuit& circ,
 
     // Bit-wise H, then the cat's parity carries the eigenvalue bit.
     for (auto q : anc.cat) circ.h(q);
-    circ.prep_z(anc.parity[r]);
-    for (auto q : anc.cat) circ.cnot(q, anc.parity[r]);
+    circ.prep_z(anc.parity[static_cast<std::size_t>(r)]);
+    for (auto q : anc.cat)
+      circ.cnot(q, anc.parity[static_cast<std::size_t>(r)]);
   }
 
   // Majority vote into the classical control register, then the controlled
@@ -44,20 +45,28 @@ void append_special_state_projection(circuit::Circuit& circ,
   for (auto q : anc.control) circ.prep_z(q);
   if (repetitions == 1) {
     codes::append_fanout(circ, anc.parity[0], anc.control);
-  } else {
+  } else if (repetitions == 3) {
     codes::append_majority3(circ, anc.parity[0], anc.parity[1], anc.parity[2],
                             anc.control);
+  } else {
+    // One independent population count per control bit (same independence
+    // argument as the N gate's wide vote).
+    for (auto q : anc.control)
+      codes::append_majority_counter(circ, anc.parity, repetitions,
+                                     anc.maj_scratch, q);
   }
   for (std::size_t i = 0; i < ops.width; ++i)
     ops.controlled_flip(circ, anc.control[i], i);
 }
 
-SpecialStateOps t_state_ops(const codes::Block& special) {
+SpecialStateOps t_state_ops(const codes::CssCode& code,
+                            const codes::CodeBlock& special) {
+  EQC_EXPECTS(code.has_transversal_s() && special.size() == code.n());
   SpecialStateOps ops;
-  ops.width = codes::Steane::kN;
-  // U = e^{i pi/4} X_L Sdg_L; logical Sdg is bit-wise S on the Steane code,
-  // so the controlled bit-wise factors are CS then CNOT, and the global
-  // phase e^{i pi/4} is a T gate on one cat qubit.
+  ops.width = code.n();
+  // U = e^{i pi/4} X_L Sdg_L; logical Sdg is bit-wise S on a transversal-S
+  // code, so the controlled bit-wise factors are CS then CNOT, and the
+  // global phase e^{i pi/4} is a T gate on one cat qubit.
   ops.controlled_u = [special](circuit::Circuit& c, std::uint32_t cat,
                                std::size_t i) {
     c.cs(cat, special.q[i]);
@@ -71,17 +80,22 @@ SpecialStateOps t_state_ops(const codes::Block& special) {
   return ops;
 }
 
-void append_t_state_prep(circuit::Circuit& circ, const codes::Block& special,
+void append_t_state_prep(circuit::Circuit& circ, const codes::CssCode& code,
+                         const codes::CodeBlock& special,
                          const SpecialStateAncillas& anc, int repetitions) {
-  codes::Steane::append_encode_zero(circ, special);
-  append_special_state_projection(circ, t_state_ops(special), anc,
+  code.append_encode_zero(circ, special);
+  append_special_state_projection(circ, t_state_ops(code, special), anc,
                                   repetitions);
 }
 
-SpecialStateOps and_state_ops(const codes::Block& a, const codes::Block& b,
-                              const codes::Block& c) {
+SpecialStateOps and_state_ops(const codes::CssCode& code,
+                              const codes::CodeBlock& a,
+                              const codes::CodeBlock& b,
+                              const codes::CodeBlock& c) {
+  EQC_EXPECTS(code.self_dual() && a.size() == code.n() &&
+              b.size() == code.n() && c.size() == code.n());
   SpecialStateOps ops;
-  ops.width = codes::Steane::kN;
+  ops.width = code.n();
   // U = Lambda(sigma_z) (x) sigma_z logically; bit-wise CZ is logical CZ and
   // bit-wise Z is logical Z, so the cat-controlled factors are
   // CCZ(cat, a_i, b_i) and CZ(cat, c_i).  U has no global phase.
@@ -97,13 +111,14 @@ SpecialStateOps and_state_ops(const codes::Block& a, const codes::Block& b,
   return ops;
 }
 
-void append_and_state_prep(circuit::Circuit& circ, const codes::Block& a,
-                           const codes::Block& b, const codes::Block& c,
+void append_and_state_prep(circuit::Circuit& circ, const codes::CssCode& code,
+                           const codes::CodeBlock& a, const codes::CodeBlock& b,
+                           const codes::CodeBlock& c,
                            const SpecialStateAncillas& anc, int repetitions) {
-  codes::Steane::append_encode_plus(circ, a);
-  codes::Steane::append_encode_plus(circ, b);
-  codes::Steane::append_encode_plus(circ, c);
-  append_special_state_projection(circ, and_state_ops(a, b, c), anc,
+  code.append_encode_plus(circ, a);
+  code.append_encode_plus(circ, b);
+  code.append_encode_plus(circ, c);
+  append_special_state_projection(circ, and_state_ops(code, a, b, c), anc,
                                   repetitions);
 }
 
@@ -114,7 +129,35 @@ SpecialStateAncillas allocate_special_state_ancillas(Layout& layout,
   anc.cat = layout.reg(width);
   anc.parity = layout.reg(static_cast<std::size_t>(repetitions));
   anc.control = layout.reg(width);
+  if (repetitions >= 5)
+    anc.maj_scratch = layout.reg(codes::majority_counter_scratch(repetitions));
   return anc;
+}
+
+// --- Steane-block compatibility overloads ----------------------------------
+
+SpecialStateOps t_state_ops(const codes::Block& special) {
+  return t_state_ops(codes::steane_code(), codes::CodeBlock::of(special));
+}
+
+void append_t_state_prep(circuit::Circuit& circ, const codes::Block& special,
+                         const SpecialStateAncillas& anc, int repetitions) {
+  append_t_state_prep(circ, codes::steane_code(), codes::CodeBlock::of(special),
+                      anc, repetitions);
+}
+
+SpecialStateOps and_state_ops(const codes::Block& a, const codes::Block& b,
+                              const codes::Block& c) {
+  return and_state_ops(codes::steane_code(), codes::CodeBlock::of(a),
+                       codes::CodeBlock::of(b), codes::CodeBlock::of(c));
+}
+
+void append_and_state_prep(circuit::Circuit& circ, const codes::Block& a,
+                           const codes::Block& b, const codes::Block& c,
+                           const SpecialStateAncillas& anc, int repetitions) {
+  append_and_state_prep(circ, codes::steane_code(), codes::CodeBlock::of(a),
+                        codes::CodeBlock::of(b), codes::CodeBlock::of(c), anc,
+                        repetitions);
 }
 
 }  // namespace eqc::ftqc

@@ -16,6 +16,11 @@
 //    U = e^{i pi/4} X_L Sdg_L and U_flip = Z_L        (for Fig. 3), and
 //  * the |AND> state with U = Lambda(sigma_z) (x) sigma_z and
 //    U_flip = I (x) I (x) sigma_z                      (for Fig. 4).
+//
+// Both instantiations rely on code structure: the T-state needs logical
+// Sdg to be bit-wise S (a transversal-S code such as Steane), the |AND>
+// state needs bit-wise CZ to be logical CZ (a self-dual code).  The
+// code-generic entry points check these capabilities.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +29,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "codes/css_code.h"
 #include "codes/steane.h"
 
 namespace eqc::ftqc {
@@ -55,36 +61,61 @@ struct SpecialStateAncillas {
   /// Fig. 2 literally draws, in which one mid-fan-out fault can corrupt
   /// several special-block qubits at once (quantified in E2).
   std::vector<std::uint32_t> verify;
+  /// Counter scratch for the 2k+1 >= 5 parity majority vote (see
+  /// codes::majority_counter_scratch); empty for repetitions <= 3.
+  std::vector<std::uint32_t> maj_scratch;
 };
 
-/// Appends the Fig. 2 projection circuit.  The input state must already be
-/// on the special register the callbacks address.
+/// Appends the Fig. 2 projection circuit for any odd 2k+1 repetitions.
+/// The input state must already be on the special register the callbacks
+/// address.
 void append_special_state_projection(circuit::Circuit& circ,
                                      const SpecialStateOps& ops,
                                      const SpecialStateAncillas& anc,
                                      int repetitions = 3);
 
+/// Ops descriptor for the T-state on a transversal-S code.
+SpecialStateOps t_state_ops(const codes::CssCode& code,
+                            const codes::CodeBlock& special);
+
 /// Complete preparation of the T-magic state |psi_0> on `special`:
 /// encodes |0>_L and projects.  (|0>_L = (|psi_0> + |psi_1>)/sqrt2.)
-void append_t_state_prep(circuit::Circuit& circ, const codes::Block& special,
+void append_t_state_prep(circuit::Circuit& circ, const codes::CssCode& code,
+                         const codes::CodeBlock& special,
                          const SpecialStateAncillas& anc, int repetitions = 3);
 
-/// Ops descriptor for the T-state (exposed for tests/analysis).
-SpecialStateOps t_state_ops(const codes::Block& special);
-
-/// Ops descriptor for the |AND> state on three blocks (Fig. 4's resource).
-SpecialStateOps and_state_ops(const codes::Block& a, const codes::Block& b,
-                              const codes::Block& c);
+/// Ops descriptor for the |AND> state on three blocks of a self-dual code
+/// (Fig. 4's resource).
+SpecialStateOps and_state_ops(const codes::CssCode& code,
+                              const codes::CodeBlock& a,
+                              const codes::CodeBlock& b,
+                              const codes::CodeBlock& c);
 
 /// Complete preparation of |AND> on blocks a, b, c: encodes |+>_L^3 and
 /// projects.  (|AND> + |AND-bar> = (H (x) H (x) H)|000>_L.)
-void append_and_state_prep(circuit::Circuit& circ, const codes::Block& a,
-                           const codes::Block& b, const codes::Block& c,
+void append_and_state_prep(circuit::Circuit& circ, const codes::CssCode& code,
+                           const codes::CodeBlock& a, const codes::CodeBlock& b,
+                           const codes::CodeBlock& c,
                            const SpecialStateAncillas& anc,
                            int repetitions = 3);
 
 SpecialStateAncillas allocate_special_state_ancillas(class Layout& layout,
                                                      std::size_t width = 7,
                                                      int repetitions = 3);
+
+// --- Steane-block compatibility overloads ----------------------------------
+
+void append_t_state_prep(circuit::Circuit& circ, const codes::Block& special,
+                         const SpecialStateAncillas& anc, int repetitions = 3);
+
+SpecialStateOps t_state_ops(const codes::Block& special);
+
+SpecialStateOps and_state_ops(const codes::Block& a, const codes::Block& b,
+                              const codes::Block& c);
+
+void append_and_state_prep(circuit::Circuit& circ, const codes::Block& a,
+                           const codes::Block& b, const codes::Block& c,
+                           const SpecialStateAncillas& anc,
+                           int repetitions = 3);
 
 }  // namespace eqc::ftqc

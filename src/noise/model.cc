@@ -18,7 +18,8 @@ double NoiseModel::probability_for(circuit::FaultSite::Kind kind) const {
 
 pauli::PauliString sample_error(Channel channel,
                                 const std::vector<std::uint32_t>& site_qubits,
-                                std::size_t num_qubits, Rng& rng) {
+                                std::size_t num_qubits, Rng& rng,
+                                double z_bias) {
   EQC_EXPECTS(!site_qubits.empty() && site_qubits.size() <= 3);
   const std::size_t k = site_qubits.size();
   pauli::PauliString err(num_qubits);
@@ -53,6 +54,16 @@ pauli::PauliString sample_error(Channel channel,
       err.set(site_qubits[i], kChoices[rng.below(3)]);
       break;
     }
+    case Channel::BiasedZ: {
+      const std::size_t i = rng.below(k);
+      if (rng.bernoulli(z_bias)) {
+        err.set(site_qubits[i], pauli::Pauli::Z);
+      } else {
+        err.set(site_qubits[i],
+                rng.below(2) == 0 ? pauli::Pauli::X : pauli::Pauli::Y);
+      }
+      break;
+    }
   }
   return err;
 }
@@ -61,8 +72,8 @@ void StochasticInjector::visit(const circuit::FaultSite& site,
                                circuit::Backend& backend) {
   const double p = model_.probability_for(site.kind);
   if (p <= 0.0 || !rng_.bernoulli(p)) return;
-  backend.apply_pauli(
-      sample_error(model_.channel, site.qubits, backend.num_qubits(), rng_));
+  backend.apply_pauli(sample_error(model_.channel, site.qubits,
+                                   backend.num_qubits(), rng_, model_.z_bias));
   ++errors_;
 }
 

@@ -20,11 +20,18 @@ enum class Channel {
   /// paper's "probability p of an error per gate, per input bit, and per
   /// delay line" model, with no correlated multi-qubit errors.
   SingleQubitPauli,
+  /// One uniformly chosen qubit of the site gets a Z with probability
+  /// `z_bias`, else a uniform X/Y — a dephasing-dominated ensemble (NMR)
+  /// variant of the paper model.  Still single-qubit, no correlations.
+  BiasedZ,
 };
 
 struct NoiseModel {
   double p = 0.0;
   Channel channel = Channel::Depolarizing;
+  /// Probability that a BiasedZ error is a Z (the rest splits evenly
+  /// between X and Y).  Ignored by the other channels.
+  double z_bias = 0.9;
   // Relative strength per site kind (0 disables that class of faults).
   double input_scale = 1.0;
   double prep_scale = 1.0;
@@ -45,13 +52,19 @@ struct NoiseModel {
   static NoiseModel paper_model(double p) {
     return NoiseModel{.p = p, .channel = Channel::SingleQubitPauli};
   }
+  /// Dephasing-dominated single-qubit model: Z with probability `z_bias`.
+  static NoiseModel biased_z(double p, double z_bias = 0.9) {
+    return NoiseModel{.p = p, .channel = Channel::BiasedZ, .z_bias = z_bias};
+  }
 };
 
 /// Samples a uniformly random non-identity error of the channel's type over
 /// `site_qubits`, as an operator on the full `num_qubits`-wide register.
+/// `z_bias` only affects Channel::BiasedZ.
 pauli::PauliString sample_error(Channel channel,
                                 const std::vector<std::uint32_t>& site_qubits,
-                                std::size_t num_qubits, Rng& rng);
+                                std::size_t num_qubits, Rng& rng,
+                                double z_bias = 0.9);
 
 /// FaultInjector applying NoiseModel errors during execution.
 class StochasticInjector final : public circuit::FaultInjector {

@@ -5,7 +5,8 @@
 #include <utility>
 
 #include "analysis/campaign.h"
-#include "codes/steane.h"
+#include "analysis/matrix.h"
+#include "codes/css_code.h"
 #include "common/assert.h"
 #include "common/checkpoint.h"
 #include "noise/model.h"
@@ -41,6 +42,38 @@ std::string get_string(const json::Value& v, const char* key,
   return m == nullptr ? def : m->as_string();
 }
 
+std::vector<std::string> get_string_array(const json::Value& v,
+                                          const char* key,
+                                          std::vector<std::string> def) {
+  const json::Value* m = v.find(key);
+  if (m == nullptr) return def;
+  std::vector<std::string> out;
+  for (const auto& e : m->as_array()) out.push_back(e.as_string());
+  return out;
+}
+
+std::vector<int> get_int_array(const json::Value& v, const char* key,
+                               std::vector<int> def) {
+  const json::Value* m = v.find(key);
+  if (m == nullptr) return def;
+  std::vector<int> out;
+  for (const auto& e : m->as_array())
+    out.push_back(static_cast<int>(e.as_i64()));
+  return out;
+}
+
+json::Array to_json_array(const std::vector<std::string>& v) {
+  json::Array arr;
+  for (const auto& s : v) arr.emplace_back(s);
+  return arr;
+}
+
+json::Array to_json_array(const std::vector<int>& v) {
+  json::Array arr;
+  for (int s : v) arr.emplace_back(s);
+  return arr;
+}
+
 }  // namespace
 
 const char* to_string(JobType type) {
@@ -51,6 +84,8 @@ const char* to_string(JobType type) {
       return "mc";
     case JobType::Fuzz:
       return "fuzz";
+    case JobType::Matrix:
+      return "matrix";
   }
   return "?";
 }
@@ -61,11 +96,13 @@ json::Value JobSpec::to_json_value() const {
   obj.emplace_back("jobs", jobs);
   obj.emplace_back("seed", seed);
   obj.emplace_back("checkpoint_every", checkpoint_every);
-  if (type != JobType::Fuzz) {
+  if (type == JobType::Campaign || type == JobType::MonteCarlo) {
     obj.emplace_back("gadget", gadget.gadget);
-    obj.emplace_back("reps", gadget.reps);
+    obj.emplace_back("reps", gadget.scenario.reps());
     obj.emplace_back("syndrome", gadget.syndrome);
-    obj.emplace_back("correlated", gadget.correlated);
+    obj.emplace_back("correlated", gadget.scenario.noise == "correlated");
+    obj.emplace_back("code", gadget.scenario.code);
+    obj.emplace_back("noise", gadget.scenario.noise);
   }
   if (type == JobType::Campaign) {
     obj.emplace_back("mode", campaign.chaos ? "chaos" : "kfault");
@@ -78,6 +115,17 @@ json::Value JobSpec::to_json_value() const {
     obj.emplace_back("p", mc.p);
     obj.emplace_back("trials", mc.trials);
     obj.emplace_back("block", mc.block);
+  } else if (type == JobType::Matrix) {
+    obj.emplace_back("mode", matrix.mc ? "mc" : "campaign");
+    obj.emplace_back("gadgets", to_json_array(matrix.gadgets));
+    obj.emplace_back("codes", to_json_array(matrix.codes));
+    obj.emplace_back("ks", to_json_array(matrix.ks));
+    obj.emplace_back("noises", to_json_array(matrix.noises));
+    obj.emplace_back("fault_k", static_cast<std::uint64_t>(matrix.fault_k));
+    obj.emplace_back("budget", matrix.budget);
+    obj.emplace_back("shrink", matrix.shrink);
+    obj.emplace_back("p", matrix.p);
+    obj.emplace_back("trials", matrix.trials);
   } else {
     obj.emplace_back("gateset", testing::to_string(fuzz.gate_set));
     obj.emplace_back("qubits", static_cast<std::uint64_t>(fuzz.qubits));
@@ -101,17 +149,27 @@ JobSpec JobSpec::from_json(const json::Value& v) {
     spec.type = JobType::MonteCarlo;
   else if (type == "fuzz")
     spec.type = JobType::Fuzz;
+  else if (type == "matrix")
+    spec.type = JobType::Matrix;
   else
     EQC_CHECK(false && "unknown job type");
   spec.jobs = static_cast<unsigned>(get_u64(v, "jobs", 1));
   spec.seed = get_u64(v, "seed", 1);
   spec.checkpoint_every = get_u64(v, "checkpoint_every", 64);
-  if (spec.type != JobType::Fuzz) {
+  if (spec.type == JobType::Campaign || spec.type == JobType::MonteCarlo) {
     spec.gadget.gadget = get_string(v, "gadget", "ngate");
     EQC_CHECK(analysis::is_known_gadget(spec.gadget.gadget));
-    spec.gadget.reps = static_cast<int>(get_u64(v, "reps", 3));
+    spec.gadget.scenario.code = get_string(v, "code", "steane");
+    EQC_CHECK(codes::find_code(spec.gadget.scenario.code) != nullptr);
+    // "noise" is authoritative; the legacy "correlated" flag maps onto it
+    // (old specs keep parsing, and specs round-trip byte-identically).
+    spec.gadget.scenario.noise = get_string(
+        v, "noise", get_bool(v, "correlated", false) ? "correlated" : "paper");
+    EQC_CHECK(analysis::is_known_noise(spec.gadget.scenario.noise));
+    const int reps = static_cast<int>(get_u64(v, "reps", 3));
+    EQC_CHECK(reps >= 1 && reps % 2 == 1);
+    spec.gadget.scenario.repetition_k = (reps - 1) / 2;
     spec.gadget.syndrome = get_bool(v, "syndrome", true);
-    spec.gadget.correlated = get_bool(v, "correlated", false);
     spec.gadget.seed = spec.seed;
   }
   if (spec.type == JobType::Campaign) {
@@ -127,6 +185,19 @@ JobSpec JobSpec::from_json(const json::Value& v) {
     spec.mc.p = get_double(v, "p", 1e-3);
     spec.mc.trials = get_u64(v, "trials", 1000);
     spec.mc.block = get_u64(v, "block", 256);
+  } else if (spec.type == JobType::Matrix) {
+    const std::string mode = get_string(v, "mode", "campaign");
+    EQC_CHECK(mode == "campaign" || mode == "mc");
+    spec.matrix.mc = mode == "mc";
+    spec.matrix.gadgets = get_string_array(v, "gadgets", spec.matrix.gadgets);
+    spec.matrix.codes = get_string_array(v, "codes", spec.matrix.codes);
+    spec.matrix.ks = get_int_array(v, "ks", spec.matrix.ks);
+    spec.matrix.noises = get_string_array(v, "noises", spec.matrix.noises);
+    spec.matrix.fault_k = static_cast<std::size_t>(get_u64(v, "fault_k", 2));
+    spec.matrix.budget = get_u64(v, "budget", 2000);
+    spec.matrix.shrink = get_bool(v, "shrink", false);
+    spec.matrix.p = get_double(v, "p", 1e-3);
+    spec.matrix.trials = get_u64(v, "trials", 2000);
   } else {
     spec.fuzz.gate_set =
         testing::gate_set_from_string(get_string(v, "gateset", "clifford"));
@@ -181,9 +252,10 @@ JobOutcome run_campaign_job(
     };
   }
   if (spec.campaign.tripwire) {
-    const codes::Block block = built.main_block;
-    cfg.tripwire.violated = [block](circuit::TabBackend& b) {
-      return !codes::Steane::block_in_codespace(b.tableau(), block);
+    const codes::CodeBlock block = built.main_block;
+    const codes::CssCode* code = built.code;
+    cfg.tripwire.violated = [block, code](circuit::TabBackend& b) {
+      return !code->block_in_codespace(b.tableau(), block);
     };
     const auto valid =
         analysis::calibrate_probe_sites(built.ex, cfg.tripwire.violated);
@@ -286,14 +358,14 @@ JobOutcome run_mc_job(
   };
   opt.on_block = emit;
 
-  const double p = spec.mc.p;
+  const noise::NoiseModel model =
+      analysis::scenario_noise_model(spec.gadget.scenario, spec.mc.p);
   const auto result = noise::run_trials_resumable(
       spec.mc.trials, spec.seed,
-      [&ex, p](std::uint64_t, Rng& rng) {
+      [&ex, model](std::uint64_t, Rng& rng) {
         circuit::TabBackend backend(ex.num_qubits, rng.split());
         circuit::execute(ex.prep, backend);
-        noise::StochasticInjector injector(noise::NoiseModel::paper_model(p),
-                                           rng.split());
+        noise::StochasticInjector injector(model, rng.split());
         const auto r = circuit::execute(ex.gadget, backend, &injector);
         return ex.failed(backend, r);
       },
@@ -312,15 +384,59 @@ JobOutcome run_mc_job(
     json::Object obj;
     obj.emplace_back("kind", "eqc_mc_report");
     obj.emplace_back("gadget", spec.gadget.gadget);
-    obj.emplace_back("reps", spec.gadget.reps);
+    obj.emplace_back("reps", spec.gadget.scenario.reps());
     obj.emplace_back("syndrome", spec.gadget.syndrome);
-    obj.emplace_back("correlated", spec.gadget.correlated);
+    obj.emplace_back("correlated", spec.gadget.scenario.noise == "correlated");
+    obj.emplace_back("code", spec.gadget.scenario.code);
+    obj.emplace_back("noise", spec.gadget.scenario.noise);
     obj.emplace_back("p", spec.mc.p);
     obj.emplace_back("trials", spec.mc.trials);
     obj.emplace_back("seed", spec.seed);
     obj.emplace_back("counter", result.counter.to_json_value());
     write_file_atomically(paths.report, json::Value(std::move(obj)).dump());
   }
+  return outcome;
+}
+
+// --- matrix jobs ------------------------------------------------------------
+
+JobOutcome run_matrix_job(
+    const JobSpec& spec, const JobPaths& paths,
+    const std::atomic<bool>* stop,
+    const std::function<void(const JobProgress&)>& on_progress) {
+  analysis::MatrixConfig cfg;
+  cfg.mode = spec.matrix.mc ? analysis::MatrixMode::MonteCarlo
+                            : analysis::MatrixMode::Campaign;
+  cfg.gadgets = spec.matrix.gadgets;
+  cfg.codes = spec.matrix.codes;
+  cfg.ks = spec.matrix.ks;
+  cfg.noises = spec.matrix.noises;
+  cfg.fault_k = spec.matrix.fault_k;
+  cfg.budget = spec.matrix.budget;
+  cfg.shrink = spec.matrix.shrink;
+  cfg.mc_p = spec.matrix.p;
+  cfg.mc_trials = spec.matrix.trials;
+  cfg.jobs = spec.jobs;
+  cfg.seed = spec.seed;
+  // Per-cell checkpoints land as flat siblings of the job checkpoint path
+  // (the scheduler's state dir already exists; no directory creation).
+  if (!paths.checkpoint.empty()) cfg.checkpoint_prefix = paths.checkpoint + ".";
+  cfg.checkpoint_every = spec.checkpoint_every;
+  cfg.stop = stop;
+  if (on_progress) {
+    cfg.on_progress = [&on_progress](const analysis::MatrixProgress& p) {
+      JobProgress jp;
+      jp.items_done = p.cells_done;
+      jp.total_items = p.total_cells;
+      on_progress(jp);
+    };
+  }
+
+  const auto report = analysis::run_matrix(cfg);
+  JobOutcome outcome;
+  outcome.complete = report.complete;
+  if (report.complete)
+    write_file_atomically(paths.report, report.to_json());
   return outcome;
 }
 
@@ -380,6 +496,8 @@ JobOutcome run_job(const JobSpec& spec, const JobPaths& paths,
       return run_mc_job(spec, paths, stop, on_progress);
     case JobType::Fuzz:
       return run_fuzz_job(spec, paths, stop, on_progress);
+    case JobType::Matrix:
+      return run_matrix_job(spec, paths, stop, on_progress);
   }
   EQC_CHECK(false);
   return {};

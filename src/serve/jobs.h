@@ -15,8 +15,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "analysis/experiments.h"
+#include "analysis/matrix.h"
 #include "common/json.h"
 #include "common/stats.h"
 #include "testing/circuit_gen.h"
@@ -24,7 +26,7 @@
 
 namespace eqc::serve {
 
-enum class JobType { Campaign, MonteCarlo, Fuzz };
+enum class JobType { Campaign, MonteCarlo, Fuzz, Matrix };
 
 const char* to_string(JobType type);
 
@@ -58,9 +60,26 @@ struct FuzzParams {
   testing::PlantedBug bug = testing::PlantedBug::None;
 };
 
+/// Scenario-matrix-job parameters (mirrors eqc_matrix's options).  The
+/// gadget x (code, k, noise) grid sweeps through the campaign or MC engine
+/// per cell; the per-job checkpoint path becomes the per-cell prefix.
+struct MatrixParams {
+  bool mc = false;  ///< MC trials per cell instead of k-fault counting
+  std::vector<std::string> gadgets = {"ngate", "recovery"};
+  std::vector<std::string> codes = {"steane", "rm15"};
+  std::vector<int> ks = {1, 2};
+  std::vector<std::string> noises = {"paper", "correlated"};
+  std::size_t fault_k = 2;      ///< campaign fault-set size per cell
+  std::uint64_t budget = 2000;  ///< fault sets tested per cell
+  bool shrink = false;
+  double p = 1e-3;              ///< MC physical error rate
+  std::uint64_t trials = 2000;  ///< MC trials per cell
+};
+
 struct JobSpec {
   JobType type = JobType::MonteCarlo;
-  /// Gadget under test (campaign and MC jobs; ignored by fuzz jobs).
+  /// Gadget under test (campaign and MC jobs; ignored by fuzz and matrix
+  /// jobs — the matrix grid names its gadgets/scenarios per cell).
   analysis::GadgetSpec gadget;
   /// Per-job worker budget handed to the engine (0 = hardware threads).
   unsigned jobs = 1;
@@ -69,6 +88,7 @@ struct JobSpec {
   CampaignParams campaign;
   McParams mc;
   FuzzParams fuzz;
+  MatrixParams matrix;
 
   /// Canonical JSON (insertion-ordered, deterministic) — journaled on
   /// submit and used as the Monte-Carlo checkpoint fingerprint.

@@ -22,7 +22,7 @@ using codes::Steane;
 FaultExperiment make_ngate_experiment(bool one, int repetitions,
                                       bool syndrome_check) {
   ftqc::Layout layout;
-  const Block source = layout.block();
+  const Block source = layout.steane_block();
   auto anc = ftqc::allocate_ngate_ancillas(layout, repetitions);
   const auto out = layout.reg(7);
 

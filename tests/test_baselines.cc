@@ -80,7 +80,7 @@ TEST(VerificationEc, FixesEveryWeightOneErrorOnSv) {
   for (int pos = 0; pos < 7; ++pos) {
     for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z}) {
       ftqc::Layout layout;
-      const Block block = layout.block();
+      const Block block = layout.steane_block();
       const auto anc = layout.bit();
       Circuit c(layout.total());
       Steane::append_encode_plus(c, block);
@@ -106,7 +106,7 @@ TEST(Recovery, SingleRoundVariantAlsoCorrects) {
   // must still correct planted weight-1 errors.
   for (int pos = 0; pos < 7; ++pos) {
     ftqc::Layout layout;
-    const Block data = layout.block();
+    const Block data = layout.steane_block();
     auto anc = allocate_recovery_ancillas(layout, 1);
     Circuit c(layout.total());
     Steane::append_encode_zero(c, data);
@@ -123,7 +123,7 @@ TEST(Recovery, SingleRoundVariantAlsoCorrects) {
 
 TEST(Recovery, MeasuredSingleRoundVariant) {
   ftqc::Layout layout;
-  const Block data = layout.block();
+  const Block data = layout.steane_block();
   auto anc = allocate_recovery_ancillas(layout, 1);
   Circuit c(layout.total());
   Steane::append_encode_zero(c, data);

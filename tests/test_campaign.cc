@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/campaign.h"
+#include "analysis/experiments.h"
 #include "analysis/fault_enum.h"
 #include "codes/steane.h"
 #include "common/assert.h"
@@ -30,7 +31,7 @@ using codes::Steane;
 FaultExperiment make_ngate_experiment(bool one, int repetitions,
                                       bool syndrome_check) {
   ftqc::Layout layout;
-  const Block source = layout.block();
+  const Block source = layout.steane_block();
   auto anc = ftqc::allocate_ngate_ancillas(layout, repetitions);
   const auto out = layout.reg(7);
 
@@ -425,7 +426,7 @@ TEST(Campaign, ExhaustivePairCampaignSkipsSameSiteCollisions) {
 
 TEST(Campaign, TripwireAttributesTheFirstCodespaceViolation) {
   ftqc::Layout layout;
-  const Block source = layout.block();
+  const Block source = layout.steane_block();
   auto ex = make_ngate_experiment(true, 3, true);
 
   TripwireOptions tripwire;
@@ -482,6 +483,31 @@ TEST(Campaign, RejectsMisconfiguredCampaigns) {
   chaos.mode = CampaignMode::Chaos;
   chaos.budget = 0;  // chaos needs a trial count
   EXPECT_THROW((void)run_campaign(ex, chaos), ContractViolation);
+}
+
+TEST(Campaign, Rm15RecoverySampledSingleFaultsAreBenign) {
+  // Regression: the ancilla burst repair used a single-position one-hot
+  // decode, which only covers the syndrome space of a PERFECT code; RM15
+  // encoder bursts with unmatched syndromes survived it and landed on the
+  // data as uncorrectable X bursts through the control-direction
+  // transversal CNOT.  With the information-set repair every sampled
+  // single fault must be benign.
+  GadgetSpec spec;
+  spec.gadget = "recovery";
+  spec.scenario.code = "rm15";
+  spec.scenario.repetition_k = 1;
+  spec.seed = 7;
+  const auto built = build_gadget_experiment(spec);
+
+  CampaignConfig cfg;
+  cfg.k = 1;
+  cfg.budget = 300;
+  cfg.jobs = 4;
+  cfg.sample_seed = 33;
+  cfg.shrink = false;
+  const auto report = run_campaign(built.ex, cfg);
+  EXPECT_EQ(report.sets_tested, 300u);
+  EXPECT_EQ(report.malignant, 0u);
 }
 
 }  // namespace

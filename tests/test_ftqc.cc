@@ -3,6 +3,7 @@
 // measurement-free Toffoli (Fig. 4), and measurement-free recovery (Sec. 5).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <complex>
 
@@ -10,6 +11,8 @@
 #include "circuit/execute.h"
 #include "circuit/sv_backend.h"
 #include "circuit/tab_backend.h"
+#include "codes/classical_logic.h"
+#include "codes/css_code.h"
 #include "codes/steane.h"
 #include "common/assert.h"
 #include "common/rng.h"
@@ -44,7 +47,7 @@ struct NGateFixture {
   std::vector<std::uint32_t> out;
 
   explicit NGateFixture(std::size_t out_width = 7, int reps = 3) {
-    source = layout.block();
+    source = layout.steane_block();
     anc = allocate_ngate_ancillas(layout, reps);
     out = layout.reg(out_width);
   }
@@ -195,7 +198,7 @@ SpecialStateAncillas compact_ss_ancillas(Layout& layout, int reps) {
 
 TEST(SpecialState, TStatePreparedExactly) {
   Layout layout;
-  const Block special = layout.block();
+  const Block special = layout.steane_block();
   SpecialStateAncillas anc = compact_ss_ancillas(layout, 3);
   Circuit c(layout.total());
   append_t_state_prep(c, special, anc);
@@ -211,7 +214,7 @@ TEST(SpecialState, TStatePreparedExactly) {
 TEST(SpecialState, ProjectionFixesThePsiOneComponent) {
   // Feed |psi_1> instead of |0>_L: the projection must still output |psi_0>.
   Layout layout;
-  const Block special = layout.block();
+  const Block special = layout.steane_block();
   SpecialStateAncillas anc = compact_ss_ancillas(layout, 3);
   Circuit c(layout.total());
   append_special_state_projection(c, t_state_ops(special), anc);
@@ -234,7 +237,7 @@ TEST(SpecialState, ProjectionFixesThePsiOneComponent) {
 
 TEST(SpecialState, SingleRepetitionAlsoExactWithoutNoise) {
   Layout layout;
-  const Block special = layout.block();
+  const Block special = layout.steane_block();
   SpecialStateAncillas anc = compact_ss_ancillas(layout, 1);
   Circuit c(layout.total());
   append_t_state_prep(c, special, anc, 1);
@@ -258,8 +261,8 @@ struct TGadgetFixture {
 
   explicit TGadgetFixture(int reps = 1, bool with_syndrome = false)
       : syndrome_check(with_syndrome) {
-    regs.data = layout.block();
-    regs.special = layout.block();
+    regs.data = layout.block(codes::steane_code());
+    regs.special = layout.block(codes::steane_code());
     regs.n_anc.copies = layout.reg(static_cast<std::size_t>(reps));
     if (with_syndrome) {
       regs.n_anc.syndrome = {layout.bit(), layout.bit(), layout.bit()};
@@ -338,7 +341,8 @@ TEST(FtTGate, MatchesMeasuredBaseline) {
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     TGadgetFixture f;
     Circuit c(f.layout.total());
-    append_measured_t_gadget(c, f.regs.data, f.regs.special);
+    append_measured_t_gadget(c, codes::steane_code(), f.regs.data,
+                             f.regs.special);
     const double inv = 1.0 / std::sqrt(2.0);
     SvBackend b(f.initial_state(Steane::encoded_amplitudes(inv, inv)),
                 Rng(seed));
@@ -464,12 +468,12 @@ TEST(CodedToffoli, CircuitBuildsAndEnumerates) {
   // constructs, schedules and enumerates fault sites.
   Layout layout;
   CodedToffoliRegs r;
-  r.a = layout.block();
-  r.b = layout.block();
-  r.c = layout.block();
-  r.x = layout.block();
-  r.y = layout.block();
-  r.z = layout.block();
+  r.a = layout.block(codes::steane_code());
+  r.b = layout.block(codes::steane_code());
+  r.c = layout.block(codes::steane_code());
+  r.x = layout.block(codes::steane_code());
+  r.y = layout.block(codes::steane_code());
+  r.z = layout.block(codes::steane_code());
   r.ss_anc = allocate_special_state_ancillas(layout, 7, 3);
   r.n_anc = allocate_ngate_ancillas(layout, 3);
   r.m1 = layout.reg(7);
@@ -522,8 +526,8 @@ TEST(NGateFiveReps, Majority5ToleratesTwoBadCopies) {
   Steane::append_encode_zero(c2, g.source);
   Steane::append_logical_x(c2, g.source);
   for (int r = 0; r < 5; ++r)
-    append_n1(c2, g.source, g.anc.copies[r], g.anc.syndrome, g.anc.work,
-              true);
+    append_n1(c2, codes::steane_code(), codes::CodeBlock::of(g.source),
+              g.anc.copies[r], g.anc.syndrome, g.anc.work, true);
   c2.x(g.anc.copies[1]);
   c2.x(g.anc.copies[3]);
   // Majority + fanout from the corrupted copies.
@@ -652,7 +656,7 @@ struct RecoveryFixture {
   RecoveryAncillas anc;
 
   RecoveryFixture() {
-    data = layout.block();
+    data = layout.steane_block();
     anc = allocate_recovery_ancillas(layout);
   }
 };
@@ -731,6 +735,196 @@ TEST(Recovery, NoErrorIsANoOp) {
   EXPECT_EQ(b.tableau().expectation_pauli(
                 Steane::logical_x_op(f.layout.total(), f.data)),
             1.0);
+}
+
+// --- generalized classical majority machinery (any odd 2k+1) ----------------
+
+TEST(ClassicalLogic, CountThresholdExhaustiveTruthTable) {
+  // t ^= [popcount(bits) >= min_count], exhaustively over every input
+  // pattern at the widths the gadget layer uses (k = 1, 2, 3 registers).
+  for (const std::size_t nbits : {3u, 5u, 7u}) {
+    for (const std::size_t min_count :
+         {std::size_t{1}, (nbits + 1) / 2, nbits}) {
+      Layout layout;
+      const auto bits = layout.reg(nbits);
+      const auto scratch = layout.reg(codes::count_threshold_scratch(nbits));
+      const auto t = layout.bit();
+      for (unsigned pattern = 0; pattern < (1u << nbits); ++pattern) {
+        Circuit c(layout.total());
+        for (std::size_t i = 0; i < nbits; ++i)
+          if (pattern & (1u << i)) c.x(bits[i]);
+        codes::append_count_threshold(c, bits, min_count, scratch, t);
+        TabBackend b(layout.total(), Rng(3));
+        execute(c, b);
+        ASSERT_TRUE(b.tableau().is_deterministic_z(t));
+        EXPECT_EQ(b.tableau().deterministic_z_value(t),
+                  static_cast<std::size_t>(std::popcount(pattern)) >=
+                      min_count)
+            << "nbits=" << nbits << " min=" << min_count
+            << " pattern=" << pattern;
+      }
+    }
+  }
+}
+
+TEST(ClassicalLogic, MajorityCounterExhaustiveTruthTable) {
+  // t ^= MAJ(copies) for 2k+1 = 3, 5, 7 — the N gate's vote at k = 1, 2, 3.
+  for (const int reps : {3, 5, 7}) {
+    Layout layout;
+    const auto copies = layout.reg(static_cast<std::size_t>(reps));
+    const auto scratch = layout.reg(codes::majority_counter_scratch(reps));
+    const auto t = layout.bit();
+    for (unsigned pattern = 0; pattern < (1u << reps); ++pattern) {
+      Circuit c(layout.total());
+      for (int i = 0; i < reps; ++i)
+        if (pattern & (1u << i)) c.x(copies[i]);
+      codes::append_majority_counter(c, copies, reps, scratch, t);
+      TabBackend b(layout.total(), Rng(3));
+      execute(c, b);
+      ASSERT_TRUE(b.tableau().is_deterministic_z(t));
+      EXPECT_EQ(b.tableau().deterministic_z_value(t),
+                std::popcount(pattern) > reps / 2)
+          << "reps=" << reps << " pattern=" << pattern;
+    }
+  }
+}
+
+TEST(NGateSevenReps, CopiesLogicalValues) {
+  // 2k+1 = 7 repetitions (k = 3): the generalized majority vote, beyond
+  // the paper's 3 and E1(b')'s 5.
+  for (bool one : {false, true}) {
+    NGateFixture f(/*out_width=*/7, /*reps=*/7);
+    Circuit c(f.layout.total());
+    Steane::append_encode_zero(c, f.source);
+    if (one) Steane::append_logical_x(c, f.source);
+    NGateOptions opt;
+    opt.repetitions = 7;
+    append_ngate(c, f.source, f.out, f.anc, opt);
+    TabBackend b(f.layout.total(), Rng(7));
+    execute(c, b);
+    for (auto q : f.out) {
+      ASSERT_TRUE(b.tableau().is_deterministic_z(q));
+      EXPECT_EQ(b.tableau().deterministic_z_value(q), one);
+    }
+    EXPECT_TRUE(Steane::block_in_codespace(b.tableau(), f.source));
+  }
+}
+
+// --- code-generic gadgets on RM15 -------------------------------------------
+
+TEST(NGateRm15, CopiesLogicalZeroAndOne) {
+  const auto& code = codes::rm15_code();
+  for (bool one : {false, true}) {
+    Layout layout;
+    const auto source = layout.block(code);
+    auto anc = allocate_ngate_ancillas(layout, code);
+    const auto out = layout.reg(code.n());
+    Circuit c(layout.total());
+    code.append_encode_zero(c, source);
+    if (one) code.append_logical_x(c, source);
+    append_ngate(c, code, source, out, anc);
+    TabBackend b(layout.total(), Rng(7));
+    execute(c, b);
+    for (auto q : out) {
+      ASSERT_TRUE(b.tableau().is_deterministic_z(q));
+      EXPECT_EQ(b.tableau().deterministic_z_value(q), one);
+    }
+    EXPECT_TRUE(code.block_in_codespace(b.tableau(), source));
+    EXPECT_EQ(code.logical_z_expectation(b.tableau(), source),
+              one ? -1.0 : 1.0);
+  }
+}
+
+TEST(NGateRm15, ToleratesSingleInputBitError) {
+  // The ten-check syndrome correction inside N1 absorbs any pre-existing
+  // bit error on the quantum ancilla, just like the Hamming checks do for
+  // Steane.
+  const auto& code = codes::rm15_code();
+  for (std::size_t pos = 0; pos < code.n(); ++pos) {
+    Layout layout;
+    const auto source = layout.block(code);
+    auto anc = allocate_ngate_ancillas(layout, code);
+    const auto out = layout.reg(code.n());
+    Circuit c(layout.total());
+    code.append_encode_zero(c, source);
+    code.append_logical_x(c, source);
+    c.x(source.q[pos]);  // pre-existing input error
+    append_ngate(c, code, source, out, anc);
+    TabBackend b(layout.total(), Rng(7));
+    execute(c, b);
+    int ones = 0;
+    for (auto q : out) {
+      ASSERT_TRUE(b.tableau().is_deterministic_z(q));
+      ones += b.tableau().deterministic_z_value(q) ? 1 : 0;
+    }
+    EXPECT_EQ(ones, static_cast<int>(out.size())) << "pos " << pos;
+  }
+}
+
+TEST(RecoveryRm15, CorrectsEveryWeightOneError) {
+  const auto& code = codes::rm15_code();
+  for (std::size_t pos = 0; pos < code.n(); ++pos) {
+    for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z}) {
+      for (bool plus : {false, true}) {
+        Layout layout;
+        const auto data = layout.block(code);
+        auto anc = allocate_recovery_ancillas(layout, code);
+        Circuit c(layout.total());
+        if (plus)
+          code.append_encode_plus(c, data);
+        else
+          code.append_encode_zero(c, data);
+        switch (p) {
+          case Pauli::X: c.x(data.q[pos]); break;
+          case Pauli::Y: c.y(data.q[pos]); break;
+          case Pauli::Z: c.z(data.q[pos]); break;
+          default: break;
+        }
+        append_recovery(c, code, data, anc);
+        TabBackend b(layout.total(), Rng(17));
+        execute(c, b);
+        EXPECT_TRUE(code.block_in_codespace(b.tableau(), data))
+            << "pos " << pos << " pauli " << static_cast<int>(p) << " plus "
+            << plus;
+        const auto logical = plus
+                                 ? code.logical_x_op(layout.total(), data)
+                                 : code.logical_z_op(layout.total(), data);
+        EXPECT_EQ(b.tableau().expectation_pauli(logical), 1.0)
+            << "pos " << pos << " pauli " << static_cast<int>(p) << " plus "
+            << plus;
+      }
+    }
+  }
+}
+
+TEST(RecoveryFiveRounds, SteaneCorrectsSingleErrors) {
+  // rounds = 5 (k = 2): the counting generalization of the word-agreement
+  // vote, on every weight-one error.
+  const auto& code = codes::steane_code();
+  for (std::size_t pos = 0; pos < code.n(); ++pos) {
+    for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z}) {
+      Layout layout;
+      const auto data = layout.block(code);
+      auto anc = allocate_recovery_ancillas(layout, code, /*rounds=*/5);
+      Circuit c(layout.total());
+      code.append_encode_zero(c, data);
+      switch (p) {
+        case Pauli::X: c.x(data.q[pos]); break;
+        case Pauli::Y: c.y(data.q[pos]); break;
+        case Pauli::Z: c.z(data.q[pos]); break;
+        default: break;
+      }
+      RecoveryOptions opt;
+      opt.rounds = 5;
+      append_recovery(c, code, data, anc, opt);
+      TabBackend b(layout.total(), Rng(17));
+      execute(c, b);
+      EXPECT_TRUE(code.block_in_codespace(b.tableau(), data))
+          << "pos " << pos << " pauli " << static_cast<int>(p);
+      EXPECT_EQ(code.logical_z_expectation(b.tableau(), data), 1.0)
+          << "pos " << pos << " pauli " << static_cast<int>(p);
+    }
+  }
 }
 
 }  // namespace

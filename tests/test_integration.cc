@@ -32,7 +32,7 @@ using pauli::PauliString;
 // error before each round; the logical qubit must survive all of them.
 TEST(Integration, MemorySurvivesRepeatedRecoveryRounds) {
   ftqc::Layout layout;
-  const Block data = layout.block();
+  const Block data = layout.steane_block();
   auto anc = ftqc::allocate_recovery_ancillas(layout);
 
   Circuit prep(layout.total());
@@ -59,7 +59,7 @@ TEST(Integration, MemorySurvivesRepeatedRecoveryRounds) {
 // The same memory protocol with the measurement-based recovery baseline.
 TEST(Integration, MemoryWithMeasuredRecoveryBaseline) {
   ftqc::Layout layout;
-  const Block data = layout.block();
+  const Block data = layout.steane_block();
   auto anc = ftqc::allocate_recovery_ancillas(layout);
 
   Circuit prep(layout.total());
@@ -89,8 +89,8 @@ TEST(Integration, TGateThenRecovery) {
 
   ftqc::Layout layout;
   ftqc::TGateRegisters regs;
-  regs.data = layout.block();
-  regs.special = layout.block();
+  regs.data = layout.block(codes::steane_code());
+  regs.special = layout.block(codes::steane_code());
   regs.n_anc.copies = layout.reg(1);
   regs.n_anc.syndrome = {0, 1, 2};
   regs.n_anc.work = {3, 4};
@@ -117,7 +117,8 @@ TEST(Integration, TGateThenRecovery) {
   b.state().apply_pauli(
       PauliString::single(layout.total(), regs.data.q[4], Pauli::Y));
   Circuit rec(layout.total());
-  ftqc::append_measured_verification_ec(rec, regs.data, ec_ancilla);
+  ftqc::append_measured_verification_ec(rec, codes::steane_code(),
+                                        regs.data, ec_ancilla);
   circuit::execute(rec, b);
 
   const auto want = Steane::encoded_amplitudes(inv, omega * inv);
@@ -129,8 +130,8 @@ TEST(Integration, TGateThenRecovery) {
 // pair; measurement-free recovery on both blocks preserves it.
 TEST(Integration, LogicalBellPairSurvivesRecovery) {
   ftqc::Layout layout;
-  const Block a = layout.block();
-  const Block c = layout.block();
+  const Block a = layout.steane_block();
+  const Block c = layout.steane_block();
   auto anc = ftqc::allocate_recovery_ancillas(layout);
 
   Circuit prep(layout.total());
@@ -167,7 +168,7 @@ TEST(Integration, LogicalBellPairSurvivesRecovery) {
 // expectation value — the full "bulk fault tolerance" story end to end.
 TEST(Integration, EnsembleRunsTheNGate) {
   ftqc::Layout layout;
-  const Block source = layout.block();
+  const Block source = layout.steane_block();
   auto anc = ftqc::allocate_ngate_ancillas(layout, 3);
   const auto out = layout.reg(7);
 
@@ -189,7 +190,7 @@ TEST(Integration, EnsembleNGateUnderNoise) {
   // state-vector ensemble stays fast; the FT properties themselves are the
   // tableau experiments' job.
   ftqc::Layout layout;
-  const Block source = layout.block();
+  const Block source = layout.steane_block();
   auto anc = ftqc::allocate_ngate_ancillas(layout, 1);
   const auto out = layout.reg(3);
 

@@ -113,6 +113,19 @@ JobSpec small_fuzz_spec() {
   return spec;
 }
 
+JobSpec small_matrix_spec() {
+  JobSpec spec;
+  spec.type = JobType::Matrix;
+  spec.jobs = 2;
+  spec.seed = 9;
+  spec.matrix.gadgets = {"ngate"};
+  spec.matrix.codes = {"steane"};
+  spec.matrix.ks = {1};
+  spec.matrix.noises = {"paper"};
+  spec.matrix.budget = 60;
+  return spec;
+}
+
 // --- journal ----------------------------------------------------------------
 
 TEST(Journal, AppendLoadRoundTripsWithSequentialSeq) {
@@ -242,11 +255,61 @@ TEST(Journal, OutOfOrderSeqIsCorrupt) {
 
 TEST(JobSpec, RoundTripsThroughJson) {
   for (const JobSpec& spec :
-       {small_mc_spec(), small_campaign_spec(), small_fuzz_spec()}) {
+       {small_mc_spec(), small_campaign_spec(), small_fuzz_spec(),
+        small_matrix_spec()}) {
     const json::Value v = spec.to_json_value();
     const JobSpec back = JobSpec::from_json(v);
     EXPECT_EQ(back.to_json_value().dump(), v.dump());
   }
+}
+
+TEST(JobSpec, ScenarioRoundTripsAndLegacyKeysStillParse) {
+  // New scenario fields survive the round trip...
+  JobSpec spec = small_mc_spec();
+  spec.gadget.scenario.code = "rm15";
+  spec.gadget.scenario.repetition_k = 2;
+  spec.gadget.scenario.noise = "biased-z";
+  const JobSpec back = JobSpec::from_json(spec.to_json_value());
+  EXPECT_EQ(back.gadget.scenario.code, "rm15");
+  EXPECT_EQ(back.gadget.scenario.repetition_k, 2);
+  EXPECT_EQ(back.gadget.scenario.noise, "biased-z");
+
+  // ...and pre-refactor specs (reps + correlated flag, no code/noise keys)
+  // map onto the scenario: reps=5 -> k=2, correlated=true -> noise.
+  const JobSpec legacy = JobSpec::from_json(json::Value::parse(
+      R"({"type":"mc","gadget":"ngate","reps":5,"correlated":true})"));
+  EXPECT_EQ(legacy.gadget.scenario.code, "steane");
+  EXPECT_EQ(legacy.gadget.scenario.repetition_k, 2);
+  EXPECT_EQ(legacy.gadget.scenario.noise, "correlated");
+  EXPECT_EQ(legacy.gadget.scenario.reps(), 5);
+
+  // Even repetition counts are rejected.
+  EXPECT_THROW((void)JobSpec::from_json(json::Value::parse(
+                   R"({"type":"mc","gadget":"ngate","reps":4})")),
+               ContractViolation);
+}
+
+TEST(RunJob, MatrixJobWritesAMatrixReport) {
+  const JobSpec spec = small_matrix_spec();
+  TempDir dir("runjob-matrix");
+  JobPaths paths{dir.file("ck.json"), dir.file("report.json")};
+  JobProgress last;
+  const auto outcome = run_job(spec, paths, nullptr,
+                               [&last](const JobProgress& p) { last = p; });
+  ASSERT_TRUE(outcome.complete);
+  EXPECT_EQ(last.items_done, last.total_items);
+  EXPECT_EQ(last.total_items, 1u);  // one grid cell
+  const auto report = json::Value::parse(slurp(paths.report));
+  const auto& obj = report.as_object();
+  ASSERT_FALSE(obj.empty());
+  EXPECT_EQ(obj[0].first, "kind");
+  EXPECT_EQ(obj[0].second.as_string(), "eqc_matrix_report");
+  // Re-running the completed job (per-cell checkpoints in place) must
+  // reproduce the report byte for byte.
+  const std::string first = slurp(paths.report);
+  const auto again = run_job(spec, paths, nullptr, nullptr);
+  ASSERT_TRUE(again.complete);
+  EXPECT_EQ(slurp(paths.report), first);
 }
 
 TEST(JobSpec, RejectsUnknownTypeAndGadget) {
@@ -353,7 +416,9 @@ TEST(Scheduler, DrainThenNewSchedulerResumesToByteIdenticalReport) {
     cfg.state_dir = baseline_dir.path;
     Scheduler sched(cfg);
     sched.submit(spec);
-    ASSERT_TRUE(sched.wait_idle(120.0));
+    // 10k trials run twice in this test; under ASan on a single core the
+    // run alone can take minutes, so the deadline is generous.
+    ASSERT_TRUE(sched.wait_idle(600.0));
   }
   const std::string ref = slurp(baseline_dir.file("job-0.report.json"));
   ASSERT_FALSE(ref.empty());
@@ -373,7 +438,7 @@ TEST(Scheduler, DrainThenNewSchedulerResumesToByteIdenticalReport) {
     SchedulerConfig cfg;
     cfg.state_dir = dir.path;
     Scheduler sched(cfg);  // recovery re-enqueues and resumes
-    ASSERT_TRUE(sched.wait_idle(120.0));
+    ASSERT_TRUE(sched.wait_idle(600.0));
     EXPECT_EQ(sched.status(0).at("status").as_string(), "done");
   }
   EXPECT_EQ(slurp(dir.file("job-0.report.json")), ref);

@@ -10,9 +10,12 @@
 //   recovery-measured   the measurement-based recovery baseline
 //
 // Scan options:
-//   --reps N          N-gate repetitions (1, 3, 5; default 3)
-//   --no-syndrome     disable the N-gate Hamming check (ablation)
-//   --correlated      use the correlated (FullDepolarizing) fault model
+//   --code NAME       CSS code ("steane" | "rm15"; default steane)
+//   --k K             repetition parameter k (gadgets use 2k+1 reps/rounds)
+//   --reps N          legacy spelling: odd repetition count N = 2k+1
+//   --noise NAME      noise axis ("paper" | "correlated" | "biased-z")
+//   --no-syndrome     disable the N-gate parity check (ablation)
+//   --correlated      legacy spelling of --noise correlated
 //   --pairs BUDGET    also run fault-pair counting with this budget
 //   --mc P TRIALS     Monte-Carlo failure rate at error probability P
 //   --seed S          RNG seed (default 1)
@@ -64,8 +67,6 @@
 #include "noise/monte_carlo.h"
 
 using namespace eqc;
-using codes::Block;
-using codes::Steane;
 
 namespace {
 
@@ -85,9 +86,10 @@ void install_stop_handlers() {
 
 struct Options {
   std::string gadget;
-  int reps = 3;
+  std::string code = "steane";
+  int repetition_k = 1;
+  std::string noise = "paper";
   bool syndrome = true;
-  bool correlated = false;
   std::uint64_t pair_budget = 0;
   double mc_p = 0.0;
   std::uint64_t mc_trials = 0;
@@ -110,7 +112,9 @@ struct Options {
   std::fprintf(
       stderr,
       "usage: eqc_faultscan <ngate|recovery|recovery-measured>\n"
-      "       [--reps N] [--no-syndrome] [--correlated]\n"
+      "       [--code steane|rm15] [--k K] [--reps N]\n"
+      "       [--noise paper|correlated|biased-z]\n"
+      "       [--no-syndrome] [--correlated]\n"
       "       [--pairs BUDGET] [--mc P TRIALS] [--seed S]\n"
       "       [--campaign K] [--budget B] [--chaos P TRIALS] [--jobs N]\n"
       "       [--checkpoint FILE] [--resume] [--shrink|--no-shrink]\n"
@@ -131,12 +135,23 @@ Options parse(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--reps")
-      opt.reps = std::atoi(next("--reps"));
+    if (arg == "--reps") {
+      const int reps = std::atoi(next("--reps"));
+      if (reps < 1 || reps % 2 == 0) {
+        std::fprintf(stderr, "--reps must be odd and >= 1\n");
+        usage();
+      }
+      opt.repetition_k = (reps - 1) / 2;
+    } else if (arg == "--k")
+      opt.repetition_k = std::atoi(next("--k"));
+    else if (arg == "--code")
+      opt.code = next("--code");
+    else if (arg == "--noise")
+      opt.noise = next("--noise");
     else if (arg == "--no-syndrome")
       opt.syndrome = false;
     else if (arg == "--correlated")
-      opt.correlated = true;
+      opt.noise = "correlated";
     else if (arg == "--pairs")
       opt.pair_budget = std::strtoull(next("--pairs"), nullptr, 10);
     else if (arg == "--mc") {
@@ -254,11 +269,13 @@ namespace {
 
 int run(const Options& opt) {
   if (!analysis::is_known_gadget(opt.gadget)) usage();
+  if (!analysis::is_known_noise(opt.noise)) usage();
   analysis::GadgetSpec spec;
   spec.gadget = opt.gadget;
-  spec.reps = opt.reps;
+  spec.scenario.code = opt.code;
+  spec.scenario.repetition_k = opt.repetition_k;
+  spec.scenario.noise = opt.noise;
   spec.syndrome = opt.syndrome;
-  spec.correlated = opt.correlated;
   spec.seed = opt.seed;
   analysis::BuiltGadget built = analysis::build_gadget_experiment(spec);
   analysis::FaultExperiment& ex = built.ex;
@@ -267,13 +284,12 @@ int run(const Options& opt) {
 
   const auto sched = circuit::schedule(ex.gadget);
   const auto sites = circuit::enumerate_fault_sites(ex.gadget);
-  std::printf("gadget %s: %zu qubits, %zu gates, depth %zu, %zu fault "
-              "sites\n",
-              opt.gadget.c_str(), ex.num_qubits, ex.gadget.size(),
+  std::printf("gadget %s [%s, k=%d (%d reps), %s noise]: %zu qubits, %zu "
+              "gates, depth %zu, %zu fault sites\n",
+              opt.gadget.c_str(), spec.scenario.code.c_str(),
+              spec.scenario.repetition_k, spec.scenario.reps(),
+              spec.scenario.noise.c_str(), ex.num_qubits, ex.gadget.size(),
               sched.depth(), sites.size());
-  std::printf("fault model: %s\n",
-              opt.correlated ? "correlated (FullDepolarizing)"
-                             : "paper (one single-qubit Pauli per location)");
 
   std::printf("\nsingle-fault scan...\n");
   const auto single = analysis::run_single_faults(ex);
@@ -304,10 +320,11 @@ int run(const Options& opt) {
     if (opt.chaos_trials > 0) {
       cfg.mode = analysis::CampaignMode::Chaos;
       cfg.budget = opt.chaos_trials;
-      cfg.chaos_model = noise::NoiseModel::paper_model(opt.chaos_p);
-      std::printf("\nchaos campaign (paper model, p = %g, %llu trials, "
+      cfg.chaos_model =
+          analysis::scenario_noise_model(spec.scenario, opt.chaos_p);
+      std::printf("\nchaos campaign (%s noise, p = %g, %llu trials, "
                   "%u jobs)...\n",
-                  opt.chaos_p,
+                  spec.scenario.noise.c_str(), opt.chaos_p,
                   static_cast<unsigned long long>(opt.chaos_trials),
                   opt.jobs);
     } else {
@@ -329,9 +346,10 @@ int run(const Options& opt) {
     cfg.stop = &g_stop;
     cfg.checkpoint_min_interval_sec = 5.0;
     if (opt.tripwire) {
-      const Block block = built.main_block;
-      cfg.tripwire.violated = [block](circuit::TabBackend& b) {
-        return !Steane::block_in_codespace(b.tableau(), block);
+      const codes::CodeBlock block = built.main_block;
+      const codes::CssCode* code = built.code;
+      cfg.tripwire.violated = [block, code](circuit::TabBackend& b) {
+        return !code->block_in_codespace(b.tableau(), block);
       };
       // Restrict probes to sites where the invariant holds fault-free (a
       // data block mid-gadget is legitimately entangled with ancillas);
@@ -377,7 +395,8 @@ int run(const Options& opt) {
           circuit::TabBackend backend(ex.num_qubits, rng.split());
           circuit::execute(ex.prep, backend);
           noise::StochasticInjector injector(
-              noise::NoiseModel::paper_model(opt.mc_p), rng.split());
+              analysis::scenario_noise_model(spec.scenario, opt.mc_p),
+              rng.split());
           const auto result = circuit::execute(ex.gadget, backend, &injector);
           return ex.failed(backend, result);
         },
