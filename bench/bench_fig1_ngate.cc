@@ -103,28 +103,35 @@ int main(int argc, char** argv) {
   int failures = 0;
 
   bench::section("(a) correctness on codewords");
-  for (bool one : {false, true}) {
-    NGateBench b(one, 3, true);
-    const auto ex = b.experiment();
-    const bool bad = analysis::run_with_faults(ex, {});
-    failures += bench::verdict(!bad, std::string("copies |") +
-                                         (one ? "1" : "0") +
-                                         ">_L onto the classical register");
+  {
+    const auto ph = rep.scoped_phase("correctness");
+    for (bool one : {false, true}) {
+      NGateBench b(one, 3, true);
+      const auto ex = b.experiment();
+      const bool bad = analysis::run_with_faults(ex, {});
+      failures += bench::verdict(!bad, std::string("copies |") +
+                                           (one ? "1" : "0") +
+                                           ">_L onto the classical register");
+    }
   }
 
   bench::section("(b) exhaustive single-fault injection (paper fault model)");
-  for (bool one : {false, true}) {
-    NGateBench b(one, 3, true);
-    const auto report = analysis::run_single_faults(b.experiment());
-    std::printf("  input |%d>_L: %zu sites, %zu faults, %zu failures\n",
-                one ? 1 : 0, report.num_sites, report.faults_tested,
-                report.failures);
-    failures += bench::verdict(report.failures == 0,
-                               "no single fault corrupts the copy");
+  {
+    const auto ph = rep.scoped_phase("single_faults");
+    for (bool one : {false, true}) {
+      NGateBench b(one, 3, true);
+      const auto report = analysis::run_single_faults(b.experiment());
+      std::printf("  input |%d>_L: %zu sites, %zu faults, %zu failures\n",
+                  one ? 1 : 0, report.num_sites, report.faults_tested,
+                  report.failures);
+      failures += bench::verdict(report.failures == 0,
+                                 "no single fault corrupts the copy");
+    }
   }
 
   bench::section("(b') model sensitivity: correlated multi-qubit gate faults");
   {
+    const auto ph = rep.scoped_phase("correlated_single_faults");
     NGateBench b(true, 3, true);
     auto ex = b.experiment();
     ex.model = analysis::FaultModel::FullDepolarizing;
@@ -141,6 +148,7 @@ int main(int argc, char** argv) {
 
   bench::section("(c) fault-pair counting -> p^2 coefficient & threshold");
   {
+    const auto ph = rep.scoped_phase("fault_pairs");
     NGateBench b(true, 3, true);
     const auto report =
         analysis::run_fault_pairs(b.experiment(), bench::scaled(20000));
@@ -164,6 +172,7 @@ int main(int argc, char** argv) {
 
   bench::section("(d) Monte-Carlo failure-rate sweep (paper error model)");
   {
+    const auto ph = rep.scoped_phase("mc_sweep");
     const std::vector<double> ps = {3e-4, 1e-3, 3e-3};
     const std::uint64_t trials = bench::scaled(12000);
     const bench::WallTimer timer;
@@ -201,6 +210,7 @@ int main(int argc, char** argv) {
 
   bench::section("(d') correlated gate noise (stronger model) for contrast");
   {
+    const auto ph = rep.scoped_phase("correlated_mc");
     const std::vector<double> ps = {1e-3, 3e-3, 1e-2};
     const std::uint64_t trials = bench::scaled(3000);
     std::vector<double> rates;

@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
 
   bench::section("(a) corrects every weight-1 Pauli error, both bases");
   {
+    const auto ph = rep.scoped_phase("planted_errors");
     bool all_ok = true;
     for (bool plus : {false, true}) {
       const auto ex = make_experiment(plus, true);
@@ -127,21 +128,25 @@ int main(int argc, char** argv) {
   // runs an N gate per extraction), so the default run samples the fault
   // universe; raise EQC_BENCH_SCALE until the budget covers it for the
   // fully exhaustive scan (which reports 0 failures — see EXPERIMENTS.md).
-  for (bool plus : {false, true}) {
-    const auto ex = make_experiment(plus, true);
-    const auto report =
-        analysis::run_single_faults_sampled(ex, bench::scaled(6000));
-    std::printf("  input |%s>_L: %zu sites, %zu faults tested, %zu "
-                "failures\n",
-                plus ? "+" : "0", report.num_sites, report.faults_tested,
-                report.failures);
-    failures += bench::verdict(report.failures == 0,
-                               "no sampled single fault causes a logical "
-                               "error");
+  {
+    const auto ph = rep.scoped_phase("single_faults");
+    for (bool plus : {false, true}) {
+      const auto ex = make_experiment(plus, true);
+      const auto report =
+          analysis::run_single_faults_sampled(ex, bench::scaled(6000));
+      std::printf("  input |%s>_L: %zu sites, %zu faults tested, %zu "
+                  "failures\n",
+                  plus ? "+" : "0", report.num_sites, report.faults_tested,
+                  report.failures);
+      failures += bench::verdict(report.failures == 0,
+                                 "no sampled single fault causes a logical "
+                                 "error");
+    }
   }
 
   bench::section("(c) Monte-Carlo: measurement-free vs measurement-based");
   {
+    const auto ph = rep.scoped_phase("mc");
     // The measurement-free gadget is large (the burst-repaired ancilla
     // preparation runs an N gate per extraction), so its pseudo-threshold
     // sits around 1e-5 and the sweep must stay below it to show the
@@ -190,6 +195,7 @@ int main(int argc, char** argv) {
 
   bench::section("(d) fault-pair counting");
   {
+    const auto ph = rep.scoped_phase("fault_pairs");
     const auto ex = make_experiment(false, true);
     const auto report = analysis::run_fault_pairs(ex, bench::scaled(4000));
     std::printf("  sites L = %zu, pairs = %llu (%s), malignant %.3f%%\n",

@@ -27,6 +27,7 @@
 
 #include "common/json.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace eqc::bench {
 
@@ -87,16 +88,22 @@ class WallTimer {
 
 /// Per-bench flag parsing plus the BENCH_<name>.json report.
 ///
-/// The report schema (version 1):
+/// The report schema (version 2):
 ///   {
-///     "version": 1, "bench": "<name>", "scale": <EQC_BENCH_SCALE>,
+///     "version": 2, "bench": "<name>", "scale": <EQC_BENCH_SCALE>,
 ///     "jobs": <resolved --jobs>, "pass": <all verdicts passed>,
 ///     "metrics":  { "<key>": <number|string>, ... },   // incl. *_wall_ms
-///     "counters": { "<key>": FailureCounter::to_json_value(), ... }
+///     "counters": { "<key>": FailureCounter::to_json_value(), ... },
+///     "phases":   { "<name>_wall_ms": <ms>, ... },     // see phase()
+///     "obs":      obs::Registry::global().snapshot()
 ///   }
-/// "counters" and every non-timing metric are deterministic — byte-identical
-/// across --jobs values; keys matching *wall_ms carry timings and are the
-/// only machine-dependent entries (CI's determinism gate excludes them).
+/// Version 1 fields are unchanged; v2 appends "phases" (a per-phase
+/// wall-clock breakdown, in insertion order) and "obs" (the process
+/// metrics snapshot).  "counters" and every non-timing metric are
+/// deterministic — byte-identical across --jobs values; keys matching
+/// *wall_ms, "phases" and the snapshot's "runtime" section carry timings
+/// and are the machine-dependent entries (CI's determinism gate excludes
+/// them).
 class Reporter {
  public:
   Reporter(std::string name, int argc, char** argv)
@@ -129,6 +136,29 @@ class Reporter {
   void counter(const std::string& key, const FailureCounter& c) {
     counters_.emplace_back(key, c.to_json_value());
   }
+  /// Records a named phase's wall time under "phases" as "<name>_wall_ms".
+  void phase(const std::string& name, double wall_ms) {
+    phases_.emplace_back(name + "_wall_ms", json::Value(wall_ms));
+  }
+
+  /// RAII phase timer: times a scope and records it at exit.
+  ///   { auto p = reporter.scoped_phase("mc_sweep"); run_sweep(); }
+  class ScopedPhase {
+   public:
+    ScopedPhase(Reporter& r, std::string name)
+        : reporter_(r), name_(std::move(name)) {}
+    ScopedPhase(const ScopedPhase&) = delete;
+    ScopedPhase& operator=(const ScopedPhase&) = delete;
+    ~ScopedPhase() { reporter_.phase(name_, timer_.ms()); }
+
+   private:
+    Reporter& reporter_;
+    std::string name_;
+    WallTimer timer_;
+  };
+  ScopedPhase scoped_phase(std::string name) {
+    return ScopedPhase(*this, std::move(name));
+  }
 
   /// Prints the summary verdict, writes the JSON report, and returns the
   /// process exit code; call as `return reporter.finish(failures);`.
@@ -137,13 +167,15 @@ class Reporter {
                 failures == 0 ? "PASS" : "FAIL");
     if (!json_path_.empty()) {
       json::Object doc;
-      doc.emplace_back("version", json::Value(1));
+      doc.emplace_back("version", json::Value(2));
       doc.emplace_back("bench", json::Value(name_));
       doc.emplace_back("scale", json::Value(scale()));
       doc.emplace_back("jobs", json::Value(jobs_));
       doc.emplace_back("pass", json::Value(failures == 0));
       doc.emplace_back("metrics", json::Value(std::move(metrics_)));
       doc.emplace_back("counters", json::Value(std::move(counters_)));
+      doc.emplace_back("phases", json::Value(std::move(phases_)));
+      doc.emplace_back("obs", obs::Registry::global().snapshot());
       std::ofstream out(json_path_, std::ios::binary | std::ios::trunc);
       out << json::Value(std::move(doc)).dump() << "\n";
       if (out.good())
@@ -160,6 +192,7 @@ class Reporter {
   unsigned jobs_ = 1;
   json::Object metrics_;
   json::Object counters_;
+  json::Object phases_;
 };
 
 /// Least-squares slope of log(y) vs log(x), skipping non-positive ys.

@@ -13,6 +13,8 @@
 #include "common/assert.h"
 #include "common/checkpoint.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace eqc::analysis {
 
@@ -577,6 +579,22 @@ CampaignReport run_campaign(const FaultExperiment& ex,
   if (shards.empty()) shards.assign(plan.num_shards, ShardState{});
 
   // --- the sweep. -----------------------------------------------------------
+  // Per-stratum counters ("campaign.k2.sets_tested", "campaign.chaos.trials",
+  // ...) so a sweep that mixes strata shows where the budget goes.  Totals of
+  // a completed run are jobs-invariant, hence Det::Stable.
+  const std::string stratum =
+      cfg.mode == CampaignMode::KFault ? "k" + std::to_string(cfg.k) : "chaos";
+  obs::Counter& c_tested = obs::counter(
+      "campaign." + stratum +
+          (cfg.mode == CampaignMode::KFault ? ".sets_tested" : ".trials"),
+      obs::Det::Stable);
+  obs::Counter& c_malignant =
+      obs::counter("campaign." + stratum + ".malignant", obs::Det::Stable);
+  obs::Counter& c_shrunk =
+      obs::counter("campaign.shrunk_sets", obs::Det::Stable);
+  obs::Span run_span("campaign.run");
+  run_span.arg("total_items", plan.total_items);
+
   std::mutex mu;                       // shard states + checkpoint cadence
   std::uint64_t items_done = 0;        // stream positions consumed (all shards)
   for (const auto& st : shards) items_done += st.cursor;
@@ -628,8 +646,12 @@ CampaignReport run_campaign(const FaultExperiment& ex,
         found.index = pos;
         found.faults = std::move(outcome.faults);
         if (cfg.shrink) {
+          obs::Span shrink_span("campaign.shrink");
+          shrink_span.arg("index", pos).arg("size", found.faults.size());
           found.faults = shrink_fault_set(ex, std::move(found.faults));
+          shrink_span.arg("minimal_size", found.faults.size());
           found.minimal = true;
+          c_shrunk.add(1);
         }
         if (cfg.tripwire.enabled()) {
           const auto probed =
@@ -638,6 +660,9 @@ CampaignReport run_campaign(const FaultExperiment& ex,
           found.trip_ordinal = probed.trip_ordinal;
         }
       }
+
+      if (outcome.tested) c_tested.add(1);
+      if (outcome.malignant) c_malignant.add(1);
 
       std::lock_guard<std::mutex> lock(mu);
       ++st.cursor;

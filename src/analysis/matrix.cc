@@ -7,6 +7,8 @@
 #include "common/assert.h"
 #include "noise/model.h"
 #include "noise/monte_carlo.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace eqc::analysis {
 
@@ -154,6 +156,13 @@ MatrixReport run_matrix(const MatrixConfig& cfg) {
 
   const std::size_t total = cfg.gadgets.size() * cfg.codes.size() *
                             cfg.ks.size() * cfg.noises.size();
+  // Cell progress is driven from this serial loop, so the gauges are
+  // deterministic (Det::Stable) despite being last-write-wins.
+  static obs::Gauge& g_done = obs::gauge("matrix.cells_done");
+  static obs::Gauge& g_total = obs::gauge("matrix.cells_total");
+  static obs::Counter& c_cells = obs::counter("matrix.cells_completed");
+  g_total.set(static_cast<std::int64_t>(total));
+  g_done.set(0);
   std::size_t index = 0;
   for (const auto& gadget : cfg.gadgets) {
     for (const auto& code : cfg.codes) {
@@ -179,12 +188,18 @@ MatrixReport run_matrix(const MatrixConfig& cfg) {
           spec.gadget = gadget;
           spec.scenario = cell.scenario;
           spec.seed = cell_seed;
-          const BuiltGadget built = build_gadget_experiment(spec);
-          cell = cfg.mode == MatrixMode::Campaign
-                     ? run_campaign_cell(cfg, built, std::move(cell), cell_seed)
-                     : run_mc_cell(cfg, built, std::move(cell), cell_seed);
+          {
+            obs::Span cell_span("matrix.cell", cell.name());
+            const BuiltGadget built = build_gadget_experiment(spec);
+            cell = cfg.mode == MatrixMode::Campaign
+                       ? run_campaign_cell(cfg, built, std::move(cell),
+                                           cell_seed)
+                       : run_mc_cell(cfg, built, std::move(cell), cell_seed);
+          }
           report.complete = report.complete && cell.complete;
+          if (cell.complete) c_cells.add(1);
           report.cells.push_back(std::move(cell));
+          g_done.set(static_cast<std::int64_t>(report.cells.size()));
           if (cfg.stop != nullptr &&
               cfg.stop->load(std::memory_order_relaxed)) {
             report.complete = false;

@@ -5,11 +5,23 @@
 #include <sstream>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
 
 namespace eqc {
 
 void write_file_atomically(const std::string& path,
                            const std::string& content) {
+  // One site covers every engine's checkpoint/report writes (campaign, MC,
+  // matrix, fuzz, serve).  Write counts follow wall-clock cadence legs, so
+  // both metrics are Det::Runtime.
+  static obs::Counter& c_writes =
+      obs::counter("checkpoint.writes", obs::Det::Runtime);
+  static obs::Histogram& h_write_ms = obs::histogram(
+      "checkpoint.write_ms", {0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100},
+      obs::Det::Runtime);
+  c_writes.add(1);
+  obs::LatencyTimer timer(h_write_ms);
+
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);

@@ -4,10 +4,28 @@
 
 #include "common/assert.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace eqc::noise {
 
 namespace {
+
+/// Trials folded into a result counter.  Stable: the folded total of a
+/// completed run never depends on the worker count — run_trials_until
+/// adds only the trials its serial-equivalent scan consumed, not the
+/// speculatively evaluated ones.
+obs::Counter& trials_counter() {
+  static obs::Counter& c = obs::counter("mc.trials", obs::Det::Stable);
+  return c;
+}
+/// RNG streams actually derived, INCLUDING speculative evaluations the
+/// early-stop scan later discards — so (rng_streams - trials) measures
+/// speculation waste.  Jobs-dependent, hence Runtime.
+obs::Counter& streams_counter() {
+  static obs::Counter& c = obs::counter("mc.rng_streams", obs::Det::Runtime);
+  return c;
+}
 
 /// Logical shards per worker.  More shards than workers keeps the pool
 /// load-balanced when trial costs vary (a failing trial often runs longer
@@ -29,6 +47,10 @@ FailureCounter run_trials_indexed(
     const std::function<bool(std::uint64_t, Rng&)>& trial, unsigned jobs) {
   EQC_EXPECTS(trial != nullptr);
   const unsigned workers = parallel::resolve_jobs(jobs);
+  obs::Span span("mc.run_trials");
+  span.arg("trials", trials);
+  trials_counter().add(trials);
+  streams_counter().add(trials);
 
   if (workers == 1) {
     FailureCounter counter;
@@ -70,6 +92,10 @@ std::vector<double> run_trial_values(
     std::uint64_t trials, std::uint64_t seed,
     const std::function<double(std::uint64_t, Rng&)>& trial, unsigned jobs) {
   EQC_EXPECTS(trial != nullptr);
+  obs::Span span("mc.run_trial_values");
+  span.arg("trials", trials);
+  trials_counter().add(trials);
+  streams_counter().add(trials);
   std::vector<double> values(trials, 0.0);
   const unsigned workers = parallel::resolve_jobs(jobs);
   const unsigned shards = shard_count(trials, workers);
@@ -106,6 +132,10 @@ McRunResult run_trials_resumable(
       return res;
     }
     const std::uint64_t count = std::min(block, trials - next);
+    obs::Span span("mc.block");
+    span.arg("start", next).arg("count", count);
+    trials_counter().add(count);
+    streams_counter().add(count);
     if (workers == 1) {
       for (std::uint64_t j = 0; j < count; ++j) {
         Rng trial_rng(derive_stream_seed(seed, next + j));
@@ -139,11 +169,22 @@ FailureCounter run_trials_until(std::uint64_t max_trials,
   EQC_EXPECTS(max_failures > 0);
   const unsigned workers = parallel::resolve_jobs(jobs);
   FailureCounter counter;
+  obs::Span span("mc.run_trials_until");
+  std::uint64_t streams = 0;
+  struct FoldOnExit {
+    const FailureCounter& c;
+    const std::uint64_t& streams;
+    ~FoldOnExit() {
+      trials_counter().add(c.trials);
+      streams_counter().add(streams);
+    }
+  } fold{counter, streams};
 
   if (workers == 1) {
     for (std::uint64_t i = 0; i < max_trials; ++i) {
       Rng trial_rng(derive_stream_seed(seed, i));
       counter.add(trial(trial_rng));
+      ++streams;
       if (counter.failures >= max_failures) {
         counter.stopped_early = true;
         break;
@@ -162,6 +203,7 @@ FailureCounter run_trials_until(std::uint64_t max_trials,
   std::vector<std::uint8_t> outcomes;
   for (std::uint64_t start = 0; start < max_trials; start += block) {
     const std::uint64_t count = std::min(block, max_trials - start);
+    streams += count;
     outcomes.assign(static_cast<std::size_t>(count), 0);
     parallel::for_each_shard(
         static_cast<unsigned>(count), workers, [&](unsigned j) {

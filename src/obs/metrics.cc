@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace eqc::obs {
+
+namespace {
+std::atomic<bool> g_timing{false};
+std::atomic<unsigned> g_next_slot{0};
+}  // namespace
+
+unsigned thread_slot() {
+  thread_local const unsigned slot =
+      g_next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+bool timing_enabled() { return g_timing.load(std::memory_order_relaxed); }
+
+void enable_timing(bool on) { g_timing.store(on, std::memory_order_relaxed); }
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : bounds_(std::move(boundaries)),
+      cells_((bounds_.size() + 1) * detail::kStripes) {
+  if (bounds_.empty())
+    throw std::invalid_argument("obs::Histogram: no boundaries");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i - 1] < bounds_[i]))
+      throw std::invalid_argument(
+          "obs::Histogram: boundaries must be strictly increasing");
+}
+
+void Histogram::record(double v) {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  cells_[bucket * detail::kStripes +
+         (thread_slot() & (detail::kStripes - 1))]
+      .v.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (std::size_t b = 0; b < out.size(); ++b)
+    for (unsigned s = 0; s < detail::kStripes; ++s)
+      out[b] += cells_[b * detail::kStripes + s].v.load(
+          std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+Registry& Registry::global() {
+  static Registry* const reg = new Registry;  // leaked: outlives exit threads
+  return *reg;
+}
+
+Counter& Registry::counter(const std::string& name, Det det) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_
+             .emplace(name, Entry<Counter>{std::make_unique<Counter>(), det})
+             .first;
+  else if (it->second.det != det)
+    throw std::logic_error("obs: counter '" + name +
+                           "' re-registered with a different Det class");
+  return *it->second.metric;
+}
+
+Gauge& Registry::gauge(const std::string& name, Det det) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(name, Entry<Gauge>{std::make_unique<Gauge>(), det})
+             .first;
+  else if (it->second.det != det)
+    throw std::logic_error("obs: gauge '" + name +
+                           "' re-registered with a different Det class");
+  return *it->second.metric;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> boundaries, Det det) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(name, Entry<Histogram>{std::make_unique<Histogram>(
+                                                 std::move(boundaries)),
+                                             det})
+             .first;
+  else if (it->second.det != det ||
+           it->second.metric->boundaries() != boundaries)
+    throw std::logic_error("obs: histogram '" + name +
+                           "' re-registered with different Det/boundaries");
+  return *it->second.metric;
+}
+
+json::Value Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // One (counters, gauges, histograms) object per determinism class.
+  // std::map iteration gives sorted names, so the dump is independent of
+  // registration order.
+  json::Object sections[2];
+  for (auto& section : sections) {
+    section.emplace_back("counters", json::Value(json::Object{}));
+    section.emplace_back("gauges", json::Value(json::Object{}));
+    section.emplace_back("histograms", json::Value(json::Object{}));
+  }
+  auto part = [&sections](Det det, std::size_t member) -> json::Object& {
+    return sections[det == Det::Stable ? 0 : 1][member].second.as_object();
+  };
+
+  for (const auto& [name, entry] : counters_)
+    part(entry.det, 0).emplace_back(
+        name, json::Value(entry.metric->value()));
+  for (const auto& [name, entry] : gauges_)
+    part(entry.det, 1).emplace_back(
+        name, json::Value(entry.metric->value()));
+  for (const auto& [name, entry] : histograms_) {
+    json::Object h;
+    json::Array bounds, counts;
+    for (double b : entry.metric->boundaries()) bounds.emplace_back(b);
+    for (std::uint64_t c : entry.metric->bucket_counts()) counts.emplace_back(c);
+    h.emplace_back("boundaries", json::Value(std::move(bounds)));
+    h.emplace_back("counts", json::Value(std::move(counts)));
+    h.emplace_back("count", json::Value(entry.metric->count()));
+    h.emplace_back("sum", json::Value(entry.metric->sum()));
+    part(entry.det, 2).emplace_back(name, json::Value(std::move(h)));
+  }
+
+  json::Object doc;
+  doc.emplace_back("kind", json::Value(std::string("eqc_metrics")));
+  doc.emplace_back("schema_version", json::Value(std::uint64_t{1}));
+  doc.emplace_back("metrics", json::Value(std::move(sections[0])));
+  doc.emplace_back("runtime", json::Value(std::move(sections[1])));
+  return json::Value(std::move(doc));
+}
+
+bool write_metrics_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << Registry::global().snapshot().dump() << '\n';
+  return out.good();
+}
+
+}  // namespace eqc::obs

@@ -1,0 +1,206 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms, accumulated in per-thread striped cells and merged
+// deterministically at snapshot time.
+//
+// DETERMINISM CONTRACT.  Every metric declares a determinism class:
+//
+//  * Det::Stable — the merged total of a COMPLETED run is a pure function
+//    of the workload: byte-identical across --jobs values and across
+//    kill/resume cycles, the same contract the engines' reports honor.
+//    A counter qualifies only when every increment corresponds to a
+//    deterministic work item (trials folded, cells completed, sets
+//    tested) — never to a scheduling accident (shards claimed, blocks
+//    sized off the worker count, wall-clock checkpoint cadence).
+//
+//  * Det::Runtime — timings, scheduling and machine facts (worker busy
+//    time, queue depths, latency histograms).  Kept in a separate
+//    snapshot section, mirroring the *_wall_ms convention BENCH_*.json
+//    already uses, so CI can compare the deterministic section
+//    byte-for-byte between worker counts.
+//
+// snapshot() emits both sections with metric names SORTED, so two
+// processes that performed the same work serialize their "metrics"
+// section identically regardless of registration interleaving.
+//
+// HOT-PATH COST.  Counter::add is one relaxed fetch_add on a per-thread
+// striped cell (cache-line padded, no false sharing).  Registry lookups
+// take a mutex and are meant to happen ONCE per site — hold the returned
+// reference (metrics are never unregistered) in a function-local static.
+// Wall-clock capture (LatencyTimer) is gated behind a single relaxed
+// atomic load and performs no clock read and no allocation when off.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace eqc::obs {
+
+/// Determinism class of a metric (see the contract above).
+enum class Det { Stable, Runtime };
+
+/// Small stable per-thread ordinal (0 = first thread to ask, usually
+/// main).  Used to pick counter stripes and as the trace "tid".
+unsigned thread_slot();
+
+/// True when wall-clock capture is on (trace sink installed or
+/// enable_timing called).  One relaxed atomic load.
+bool timing_enabled();
+
+/// Turns wall-clock capture (LatencyTimer samples, parallel-pool busy/idle
+/// accounting) on or off.  Installing a trace sink enables it implicitly.
+void enable_timing(bool on = true);
+
+namespace detail {
+constexpr unsigned kStripes = 16;  // power of two; indexed by thread slot
+
+struct alignas(64) Cell {
+  std::atomic<std::uint64_t> v{0};
+};
+}  // namespace detail
+
+/// Monotone counter.  add() is wait-free on a per-thread stripe; value()
+/// sums the stripes (sums are order-free, so the total is exact).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cells_[thread_slot() & (detail::kStripes - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  std::array<detail::Cell, detail::kStripes> cells_;
+};
+
+/// Last-value gauge with an additive mode.  A Det::Stable gauge must only
+/// be set from a deterministic serial point (e.g. the matrix driver's
+/// cell loop) — concurrent last-write-wins is Runtime by nature.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram over doubles.  With boundaries b0 < b1 < ... <
+/// b{n-1} there are n+1 buckets:
+///   bucket 0:      v <  b0
+///   bucket i:      b{i-1} <= v < b{i}          (lower-inclusive edges)
+///   bucket n:      v >= b{n-1}                 (overflow)
+/// record() is wait-free (striped per-bucket cells + atomic double sum).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> boundaries);
+
+  void record(double v);
+
+  const std::vector<double>& boundaries() const { return bounds_; }
+  /// Per-bucket counts, length boundaries().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const;
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<detail::Cell> cells_;  // (buckets) x (stripes)
+  std::atomic<double> sum_{0.0};
+};
+
+/// RAII latency sample: records the elapsed milliseconds into `hist` at
+/// scope exit when timing is enabled; no clock read (and no allocation)
+/// otherwise.
+class LatencyTimer {
+ public:
+  explicit LatencyTimer(Histogram& hist)
+      : hist_(timing_enabled() ? &hist : nullptr) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~LatencyTimer() {
+    if (hist_ != nullptr)
+      hist_->record(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count());
+  }
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Named-metric registry.  Instantiable for tests; production code uses
+/// the process-wide Registry::global().  Metrics are registered lazily on
+/// first lookup and never unregistered, so returned references stay valid
+/// for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  /// Looks up (or registers) a metric.  Re-registration must agree on the
+  /// determinism class (and, for histograms, the boundaries); disagreement
+  /// is a programming error and throws.
+  Counter& counter(const std::string& name, Det det = Det::Stable);
+  Gauge& gauge(const std::string& name, Det det = Det::Stable);
+  Histogram& histogram(const std::string& name, std::vector<double> boundaries,
+                       Det det = Det::Runtime);
+
+  /// Full snapshot:
+  ///   { "kind": "eqc_metrics", "schema_version": 1,
+  ///     "metrics": {"counters":{..},"gauges":{..},"histograms":{..}},
+  ///     "runtime": {"counters":{..},"gauges":{..},"histograms":{..}} }
+  /// Names sorted; "metrics" holds the Det::Stable section (byte-identical
+  /// across --jobs for a completed run), "runtime" the rest.
+  json::Value snapshot() const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::unique_ptr<T> metric;
+    Det det = Det::Stable;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+/// Shorthands over Registry::global().
+inline Counter& counter(const std::string& name, Det det = Det::Stable) {
+  return Registry::global().counter(name, det);
+}
+inline Gauge& gauge(const std::string& name, Det det = Det::Stable) {
+  return Registry::global().gauge(name, det);
+}
+inline Histogram& histogram(const std::string& name,
+                            std::vector<double> boundaries,
+                            Det det = Det::Runtime) {
+  return Registry::global().histogram(name, std::move(boundaries), det);
+}
+
+/// Dumps Registry::global().snapshot() to `path` (trailing newline);
+/// false on an I/O error.
+bool write_metrics_file(const std::string& path);
+
+}  // namespace eqc::obs

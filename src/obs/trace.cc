@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace eqc::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::string detail;
+  unsigned tid;
+  double ts_us;
+  double dur_us;
+  const char* arg_keys[4];
+  std::uint64_t arg_vals[4];
+  int num_args;
+};
+
+struct Sink {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::map<unsigned, std::string> thread_labels;  // slot -> label
+  std::chrono::steady_clock::time_point anchor;
+};
+
+std::atomic<bool> g_active{false};
+
+Sink& sink() {
+  static Sink* const s = new Sink;  // leaked: worker threads may outlive main
+  return *s;
+}
+
+}  // namespace
+
+bool trace_active() { return g_active.load(std::memory_order_relaxed); }
+
+void install_trace_sink() {
+  Sink& s = sink();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (g_active.load(std::memory_order_relaxed)) return;
+    s.anchor = std::chrono::steady_clock::now();
+  }
+  enable_timing(true);
+  g_active.store(true, std::memory_order_relaxed);
+}
+
+void shutdown_trace_sink() {
+  g_active.store(false, std::memory_order_relaxed);
+  enable_timing(false);
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.events.clear();
+  s.thread_labels.clear();
+}
+
+void set_thread_label(const std::string& label) {
+  if (!trace_active()) return;
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.thread_labels[thread_slot()] = label;
+}
+
+Span::Span(const char* name) {
+  if (!trace_active()) return;  // single relaxed load; name_ stays nullptr
+  name_ = name;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::Span(const char* name, const std::string& detail) : Span(name) {
+  if (name_ != nullptr) detail_ = detail;
+}
+
+Span& Span::arg(const char* key, std::uint64_t value) {
+  if (name_ != nullptr && num_args_ < 4) {
+    arg_keys_[num_args_] = key;
+    arg_vals_[num_args_] = value;
+    ++num_args_;
+  }
+  return *this;
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  Sink& s = sink();
+  TraceEvent ev;
+  ev.name = name_;
+  ev.detail = std::move(detail_);
+  ev.tid = thread_slot();
+  ev.dur_us = std::chrono::duration<double, std::micro>(end - start_).count();
+  for (int i = 0; i < num_args_; ++i) {
+    ev.arg_keys[i] = arg_keys_[i];
+    ev.arg_vals[i] = arg_vals_[i];
+  }
+  ev.num_args = num_args_;
+  std::lock_guard<std::mutex> lock(s.mu);
+  ev.ts_us =
+      std::chrono::duration<double, std::micro>(start_ - s.anchor).count();
+  s.events.push_back(std::move(ev));
+}
+
+std::string trace_json() {
+  Sink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+
+  json::Array events;
+  for (const auto& [slot, label] : s.thread_labels) {
+    json::Object meta;
+    meta.emplace_back("name", json::Value("thread_name"));
+    meta.emplace_back("ph", json::Value("M"));
+    meta.emplace_back("pid", json::Value(1));
+    meta.emplace_back("tid", json::Value(slot));
+    json::Object args;
+    args.emplace_back("name", json::Value(label));
+    meta.emplace_back("args", json::Value(std::move(args)));
+    events.emplace_back(std::move(meta));
+  }
+  for (const auto& ev : s.events) {
+    json::Object e;
+    e.emplace_back("name", json::Value(ev.name));
+    e.emplace_back("cat", json::Value("eqc"));
+    e.emplace_back("ph", json::Value("X"));
+    e.emplace_back("pid", json::Value(1));
+    e.emplace_back("tid", json::Value(ev.tid));
+    e.emplace_back("ts", json::Value(ev.ts_us));
+    e.emplace_back("dur", json::Value(ev.dur_us));
+    json::Object args;
+    if (!ev.detail.empty())
+      args.emplace_back("detail", json::Value(ev.detail));
+    for (int i = 0; i < ev.num_args; ++i)
+      args.emplace_back(ev.arg_keys[i], json::Value(ev.arg_vals[i]));
+    if (!args.empty()) e.emplace_back("args", json::Value(std::move(args)));
+    events.emplace_back(std::move(e));
+  }
+
+  json::Object doc;
+  doc.emplace_back("displayTimeUnit", json::Value("ms"));
+  doc.emplace_back("traceEvents", json::Value(std::move(events)));
+  return json::Value(std::move(doc)).dump();
+}
+
+bool write_trace_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << trace_json() << '\n';
+  return out.good();
+}
+
+}  // namespace eqc::obs

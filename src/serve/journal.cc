@@ -4,10 +4,12 @@
 
 #include "common/assert.h"
 #include "common/checkpoint.h"
+#include "obs/metrics.h"
 
 namespace eqc::serve {
 
-std::vector<json::Value> parse_journal_text(const std::string& text) {
+std::vector<json::Value> parse_journal_text(const std::string& text,
+                                            JournalLoadStats* stats) {
   std::vector<json::Value> records;
   std::size_t pos = 0;
   while (pos < text.size()) {
@@ -16,6 +18,7 @@ std::vector<json::Value> parse_journal_text(const std::string& text) {
       // Unterminated tail: the one artifact the crash model can produce.
       // Whatever the fragment contains, the record it belonged to never
       // committed — drop it.
+      if (stats != nullptr) stats->torn_bytes = text.size() - pos;
       break;
     }
     const std::string line = text.substr(pos, nl - pos);
@@ -40,13 +43,15 @@ std::vector<json::Value> parse_journal_text(const std::string& text) {
       throw CheckpointCorrupt("journal: sequence number out of order");
     records.push_back(std::move(rec));
   }
+  if (stats != nullptr) stats->records = records.size();
   return records;
 }
 
-std::vector<json::Value> Journal::load(const std::string& path) {
+std::vector<json::Value> Journal::load(const std::string& path,
+                                       JournalLoadStats* stats) {
   std::string text;
   if (!read_file(path, text)) return {};
-  return parse_journal_text(text);
+  return parse_journal_text(text, stats);
 }
 
 Journal::Journal(std::string path, std::uint64_t next_seq)
@@ -61,6 +66,15 @@ Journal::~Journal() {
 
 void Journal::append(json::Value record) {
   EQC_EXPECTS(record.is_object());
+  static obs::Counter& c_appends =
+      obs::counter("serve.journal.appends", obs::Det::Runtime);
+  static obs::Histogram& h_append_ms = obs::histogram(
+      "serve.journal.append_ms",
+      {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50},
+      obs::Det::Runtime);
+  c_appends.add(1);
+  obs::LatencyTimer timer(h_append_ms);
+
   json::Object stamped;
   stamped.emplace_back("seq", next_seq_);
   for (auto& member : record.as_object()) {

@@ -26,14 +26,24 @@
 
 namespace eqc::serve {
 
+/// What a journal load actually recovered — surfaced so the scheduler can
+/// log a one-line recovery summary instead of silently dropping evidence.
+struct JournalLoadStats {
+  std::uint64_t records = 0;     ///< committed records replayed
+  std::uint64_t torn_bytes = 0;  ///< bytes of the torn unterminated tail
+};
+
 /// Parses journal text into records (exposed for fuzz tests).  Tolerates a
-/// torn unterminated tail; throws CheckpointCorrupt on any interior damage.
-std::vector<json::Value> parse_journal_text(const std::string& text);
+/// torn unterminated tail (reported via `stats` when non-null); throws
+/// CheckpointCorrupt on any interior damage.
+std::vector<json::Value> parse_journal_text(const std::string& text,
+                                            JournalLoadStats* stats = nullptr);
 
 class Journal {
  public:
   /// Loads the records of an existing journal file (absent file = empty).
-  static std::vector<json::Value> load(const std::string& path);
+  static std::vector<json::Value> load(const std::string& path,
+                                       JournalLoadStats* stats = nullptr);
 
   /// Opens `path` for appending (creating it when absent).  `next_seq`
   /// must continue the loaded history (pass records.size()).  Throws

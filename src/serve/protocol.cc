@@ -74,6 +74,29 @@ json::Value Client::request(const json::Value& req) {
   return json::Value::parse(line);
 }
 
+void Client::send(const json::Value& req) {
+  EQC_CHECK(write_line(fd_, req.dump()));
+}
+
+bool Client::read_response(json::Value& out) {
+  std::string line;
+  if (!read_line(fd_, line)) return false;
+  try {
+    out = json::Value::parse(line);
+  } catch (const json::JsonError&) {
+    return false;
+  }
+  return true;
+}
+
+void Client::set_read_timeout(double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
 bool server_alive(const std::string& socket_path) {
   const int fd = connect_unix(socket_path);
   if (fd < 0) return false;

@@ -10,7 +10,17 @@
 //   submit   {"job": <JobSpec>}   -> {"ok":true,"id":N}
 //   status   [{"id":N}]           -> {"ok":true,"jobs":[...]}
 //   cancel   {"id":N}             -> {"ok":true,"cancelled":bool}
+//   metrics                       -> {"ok":true,"metrics":<obs snapshot>}
 //   shutdown [{"mode":"checkpoint"|"finish"}] -> {"ok":true}
+//
+// The one STREAMING verb breaks the one-request/one-response rule:
+//   watch    {"id":N}             -> a {"ok":true,"event":"progress",
+//                                     "job":{...}} line every ~1s until the
+//                                     job is terminal (final line carries
+//                                     the terminal status), the client
+//                                     hangs up, or the server shuts down
+//                                     (stream simply ends — clients fall
+//                                     back to status polling).
 #pragma once
 
 #include <string>
@@ -42,6 +52,15 @@ class Client {
   /// ContractViolation on a transport failure and JsonError on a
   /// malformed response.
   json::Value request(const json::Value& req);
+
+  /// Streaming half of the protocol (the `watch` verb): send one request,
+  /// then read response lines as they arrive.  read_response returns false
+  /// on EOF / error / read timeout (stream ended — fall back to polling).
+  void send(const json::Value& req);
+  bool read_response(json::Value& out);
+
+  /// Bounds every subsequent read (SO_RCVTIMEO); 0 restores blocking mode.
+  void set_read_timeout(double seconds);
 
  private:
   int fd_ = -1;

@@ -5,10 +5,26 @@
 
 #include "common/assert.h"
 #include "common/checkpoint.h"
+#include "obs/metrics.h"
 
 namespace eqc::serve {
 
 using Clock = std::chrono::steady_clock;
+
+namespace {
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::gauge("serve.scheduler.queue_depth", obs::Det::Runtime);
+  return g;
+}
+obs::Gauge& running_gauge() {
+  static obs::Gauge& g =
+      obs::gauge("serve.scheduler.jobs_running", obs::Det::Runtime);
+  return g;
+}
+
+}  // namespace
 
 const char* to_string(JobStatus status) {
   switch (status) {
@@ -113,18 +129,40 @@ Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.max_concurrent_jobs == 0) cfg_.max_concurrent_jobs = 1;
   const std::string journal_path = cfg_.state_dir + "/journal.jsonl";
 
+  auto log = [this](const std::string& line) {
+    if (cfg_.log) cfg_.log(line);
+  };
   std::vector<json::Value> records;
   std::map<std::uint64_t, ReplayedJob> replayed;
+  JournalLoadStats load_stats;
   try {
-    records = Journal::load(journal_path);
+    records = Journal::load(journal_path, &load_stats);
     replayed = replay_records(records);
-  } catch (const CheckpointCorrupt&) {
+  } catch (const CheckpointCorrupt& e) {
     // Damage the append protocol cannot produce: keep the evidence aside
     // and start a fresh history.  Reports already written stay on disk.
-    quarantine_corrupt_file(journal_path);
+    const std::string quarantined = quarantine_corrupt_file(journal_path);
+    log("journal: corrupt (" + std::string(e.what()) + "); quarantined to " +
+        (quarantined.empty() ? std::string("<unlinked>") : quarantined) +
+        ", starting fresh");
+    obs::counter("serve.journal.quarantined", obs::Det::Runtime).add(1);
     records.clear();
     replayed.clear();
+    load_stats = JournalLoadStats{};
   }
+  if (load_stats.records > 0 || load_stats.torn_bytes > 0) {
+    std::string line =
+        "journal: replayed " + std::to_string(load_stats.records) +
+        " record(s)";
+    if (load_stats.torn_bytes > 0)
+      line += ", dropped " + std::to_string(load_stats.torn_bytes) +
+              " torn tail byte(s)";
+    log(line);
+  }
+  obs::counter("serve.journal.recovered_records", obs::Det::Runtime)
+      .add(load_stats.records);
+  obs::counter("serve.journal.torn_bytes_dropped", obs::Det::Runtime)
+      .add(load_stats.torn_bytes);
   journal_ = std::make_unique<Journal>(journal_path, records.size());
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -145,6 +183,7 @@ Scheduler::Scheduler(SchedulerConfig cfg) : cfg_(std::move(cfg)) {
     jobs_.emplace(id, std::move(rec));
     if (enqueue) pending_.push_back(id);
   }
+  queue_depth_gauge().set(static_cast<std::int64_t>(pending_.size()));
 
   for (unsigned i = 0; i < cfg_.max_concurrent_jobs; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -163,6 +202,7 @@ std::uint64_t Scheduler::submit(const JobSpec& spec) {
   job.spec = spec;
   jobs_.emplace(id, std::move(job));
   pending_.push_back(id);
+  queue_depth_gauge().set(static_cast<std::int64_t>(pending_.size()));
   cv_.notify_all();
   return id;
 }
@@ -192,6 +232,7 @@ void Scheduler::worker_loop() {
     if (draining_) return;
     const std::uint64_t id = pending_.front();
     pending_.pop_front();
+    queue_depth_gauge().set(static_cast<std::int64_t>(pending_.size()));
     const auto it = jobs_.find(id);
     if (it == jobs_.end() || it->second.status != JobStatus::Queued) continue;
     run_one_locked(lock, id);
@@ -207,9 +248,11 @@ void Scheduler::run_one_locked(std::unique_lock<std::mutex>& lock,
   auto stop = std::make_shared<std::atomic<bool>>(false);
   rec.stop = stop;
   ++running_;
+  running_gauge().set(running_);
   const JobSpec spec = rec.spec;
   const JobPaths paths{checkpoint_path(id), report_path(id)};
   const auto t0 = Clock::now();
+  rec.attempt_start = t0;
 
   lock.unlock();
   JobOutcome outcome;
@@ -231,6 +274,7 @@ void Scheduler::run_one_locked(std::unique_lock<std::mutex>& lock,
   rec.wall_sec += std::chrono::duration<double>(Clock::now() - t0).count();
   rec.stop.reset();
   --running_;
+  running_gauge().set(running_);
   if (threw) {
     json::Value ev = event_record("failed", id);
     ev.set("error", error);
@@ -247,26 +291,55 @@ void Scheduler::run_one_locked(std::unique_lock<std::mutex>& lock,
     // Stopped by a drain: NO terminal event, so the next Scheduler over
     // this state directory re-enqueues and resumes from the checkpoint.
     rec.status = JobStatus::Queued;
-    if (!draining_) pending_.push_back(id);
+    if (!draining_) {
+      pending_.push_back(id);
+      queue_depth_gauge().set(static_cast<std::int64_t>(pending_.size()));
+    }
   }
 }
 
+// GCC 12's -Warray-bounds fires a false positive inside vector::emplace_back's
+// reallocation path for pair<string, json::Value> once this function grew past
+// the inliner's threshold (GCC PR 107852); the code is plain appends.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#pragma GCC diagnostic ignored "-Wrestrict"
 json::Value Scheduler::status_locked(std::uint64_t id,
                                      const Record& rec) const {
   json::Object obj;
+  obj.reserve(14);
   obj.emplace_back("id", id);
-  obj.emplace_back("type", to_string(rec.spec.type));
-  obj.emplace_back("status", to_string(rec.status));
+  obj.emplace_back("type", json::Value(to_string(rec.spec.type)));
+  obj.emplace_back("status", json::Value(to_string(rec.status)));
   obj.emplace_back("cancel_requested", rec.cancel_requested);
   obj.emplace_back("items_done", rec.progress.items_done);
   obj.emplace_back("total_items", rec.progress.total_items);
   obj.emplace_back("counter", rec.progress.counter.to_json_value());
   obj.emplace_back("wall_sec", rec.wall_sec);
+  // Live view: elapsed includes the in-flight attempt; rate/ETA derive
+  // from the progress counters (ETA only when the denominator is honest).
+  double elapsed = rec.wall_sec;
+  if (rec.status == JobStatus::Running)
+    elapsed +=
+        std::chrono::duration<double>(Clock::now() - rec.attempt_start).count();
+  obj.emplace_back("elapsed_sec", elapsed);
+  const double rate =
+      elapsed > 0.0 ? static_cast<double>(rec.progress.items_done) / elapsed
+                    : 0.0;
+  obj.emplace_back("rate_per_sec", rate);
+  if (rate > 0.0 && rec.progress.total_items > rec.progress.items_done &&
+      !is_terminal(rec.status))
+    obj.emplace_back(
+        "eta_sec",
+        static_cast<double>(rec.progress.total_items -
+                            rec.progress.items_done) /
+            rate);
   if (!rec.error.empty()) obj.emplace_back("error", rec.error);
   if (rec.status == JobStatus::Done)
     obj.emplace_back("report", report_path(id));
   return json::Value(std::move(obj));
 }
+#pragma GCC diagnostic pop
 
 json::Value Scheduler::status(std::uint64_t id) const {
   std::lock_guard<std::mutex> lock(mu_);

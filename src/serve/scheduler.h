@@ -29,9 +29,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -54,6 +56,8 @@ struct SchedulerConfig {
   std::string state_dir;
   /// Jobs run concurrently (each with its own engine worker budget).
   unsigned max_concurrent_jobs = 2;
+  /// Optional line logger (recovery summaries, quarantines); may be null.
+  std::function<void(const std::string&)> log;
 };
 
 class Scheduler {
@@ -105,7 +109,10 @@ class Scheduler {
     bool cancel_requested = false;
     std::string error;
     JobProgress progress;
-    double wall_sec = 0.0;  ///< accumulated across run attempts
+    double wall_sec = 0.0;  ///< accumulated across COMPLETED run attempts
+    /// Start of the in-flight attempt (valid while status == Running);
+    /// lets status() report live elapsed/rate/ETA mid-attempt.
+    std::chrono::steady_clock::time_point attempt_start{};
     std::shared_ptr<std::atomic<bool>> stop;  ///< set while running
   };
 

@@ -5,11 +5,17 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/assert.h"
+#include "obs/metrics.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
 
@@ -48,8 +54,62 @@ int listen_unix(const std::string& socket_path) {
 
 enum class ShutdownMode { None, Checkpoint, Finish };
 
+/// Owns the long-lived `watch` connections.  serve_connection runs
+/// synchronously in the accept loop, so a watch stream must move to its
+/// own thread or it would wedge every other client.
+class Watchers {
+ public:
+  ~Watchers() { shutdown(); }
+
+  /// Takes ownership of `fd` and streams job `id`'s status on it about
+  /// once per second until the job is terminal, the peer hangs up, or
+  /// shutdown().  False (fd NOT taken) when at capacity.
+  bool launch(int fd, Scheduler& sched, std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closing_.load() || threads_.size() >= kMaxWatchers) return false;
+    threads_.emplace_back([this, fd, &sched, id] { stream(fd, sched, id); });
+    return true;
+  }
+
+  void shutdown() {
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closing_.store(true);
+      threads.swap(threads_);
+    }
+    for (auto& t : threads) t.join();
+  }
+
+ private:
+  static constexpr std::size_t kMaxWatchers = 64;
+
+  void stream(int fd, Scheduler& sched, std::uint64_t id) {
+    while (!closing_.load()) {
+      const json::Value st = sched.status(id);
+      if (st.is_null()) break;  // cannot happen once submitted; be safe
+      json::Object push;
+      push.emplace_back("ok", true);
+      push.emplace_back("event", "progress");
+      push.emplace_back("job", st);
+      if (!write_line(fd, json::Value(std::move(push)).dump())) break;
+      const std::string& status = st.at("status").as_string();
+      if (status == "done" || status == "failed" || status == "cancelled")
+        break;
+      // ~1s cadence, woken early by shutdown.
+      for (int i = 0; i < 10 && !closing_.load(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    ::close(fd);
+  }
+
+  std::mutex mu_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> closing_{false};
+};
+
 json::Value dispatch(Scheduler& sched, const std::string& line,
-                     ShutdownMode& shutdown) {
+                     ShutdownMode& shutdown, std::uint64_t* watch_id) {
   json::Value req;
   try {
     req = json::Value::parse(line);
@@ -96,6 +156,21 @@ json::Value dispatch(Scheduler& sched, const std::string& line,
       resp.set("cancelled", sched.cancel(id->as_u64()));
       return resp;
     }
+    if (verb->as_string() == "metrics") {
+      json::Value resp = ok_response();
+      resp.set("metrics", obs::Registry::global().snapshot());
+      return resp;
+    }
+    if (verb->as_string() == "watch") {
+      const json::Value* id = req.find("id");
+      if (id == nullptr) return error_response("watch: missing id");
+      if (sched.status(id->as_u64()).is_null())
+        return error_response("watch: unknown job");
+      *watch_id = id->as_u64();  // serve_connection hands the fd off
+      json::Value resp = ok_response();
+      resp.set("watching", id->as_u64());
+      return resp;
+    }
     if (verb->as_string() == "shutdown") {
       std::string mode = "checkpoint";
       if (const json::Value* m = req.find("mode")) mode = m->as_string();
@@ -113,15 +188,24 @@ json::Value dispatch(Scheduler& sched, const std::string& line,
   }
 }
 
-void serve_connection(int fd, Scheduler& sched, ShutdownMode& shutdown) {
+void serve_connection(int fd, Scheduler& sched, ShutdownMode& shutdown,
+                      Watchers& watchers) {
   // Bound reads so one stuck client cannot wedge the control plane.
   timeval tv{};
   tv.tv_sec = 2;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   std::string line;
   while (shutdown == ShutdownMode::None && read_line(fd, line)) {
-    const json::Value resp = dispatch(sched, line, shutdown);
+    std::uint64_t watch_id = UINT64_MAX;
+    const json::Value resp = dispatch(sched, line, shutdown, &watch_id);
     if (!write_line(fd, resp.dump())) break;
+    if (watch_id != UINT64_MAX) {
+      // Hand the connection to a watcher thread; the accept loop must not
+      // block behind a stream that lives as long as the job.
+      if (watchers.launch(fd, sched, watch_id)) return;  // fd handed off
+      write_line(fd, error_response("watch: too many watchers").dump());
+      break;
+    }
   }
   ::close(fd);
 }
@@ -145,11 +229,14 @@ std::size_t run_server(const ServerConfig& cfg) {
   SchedulerConfig scfg;
   scfg.state_dir = cfg.state_dir;
   scfg.max_concurrent_jobs = cfg.max_concurrent_jobs;
+  scfg.log = log;  // recovery/quarantine summaries reach the server log
   Scheduler sched(scfg);  // recovery: unfinished jobs resume immediately
   if (sched.unfinished() > 0)
     log("recovered " + std::to_string(sched.unfinished()) +
         " unfinished job(s), resuming");
 
+  // Declared after sched: destroyed first, so no watcher outlives it.
+  Watchers watchers;
   const int listen_fd = listen_unix(socket_path);
   log("listening on " + socket_path);
 
@@ -166,8 +253,9 @@ std::size_t run_server(const ServerConfig& cfg) {
     if (r <= 0) continue;  // timeout or EINTR: re-check the stop flag
     const int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) continue;
-    serve_connection(conn, sched, shutdown);
+    serve_connection(conn, sched, shutdown, watchers);
   }
+  watchers.shutdown();  // end live streams before the queue drains
 
   if (shutdown == ShutdownMode::Finish) {
     log("shutdown(finish): running the queue dry");

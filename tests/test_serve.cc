@@ -183,6 +183,34 @@ TEST(Journal, TornTailIsDiscardedNotFatal) {
   EXPECT_EQ(records[1].at("event").as_string(), "start");
 }
 
+TEST(Journal, LoadStatsReportRecordCountAndTornTailBytes) {
+  TempDir dir("journal-stats");
+  const std::string path = dir.file("journal.jsonl");
+  {
+    Journal journal(path, 0);
+    journal.append(event("submit", 0));
+    journal.append(event("start", 0));
+  }
+  const std::string fragment = R"({"seq":2,"event":"do)";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << fragment;
+  }
+  JournalLoadStats stats;
+  const auto records = Journal::load(path, &stats);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.torn_bytes, fragment.size());
+
+  // A clean journal reports zero torn bytes.
+  JournalLoadStats clean;
+  parse_journal_text(R"({"seq":0,"event":"submit","id":0})"
+                     "\n",
+                     &clean);
+  EXPECT_EQ(clean.records, 1u);
+  EXPECT_EQ(clean.torn_bytes, 0u);
+}
+
 TEST(Journal, TruncationAtEveryByteOffsetNeverCrashes) {
   TempDir dir("journal-truncate");
   const std::string path = dir.file("journal.jsonl");
@@ -558,6 +586,76 @@ TEST(Server, RejectsMalformedRequestsWithoutDying) {
   EXPECT_TRUE(resp.at("ok").as_bool());
   EXPECT_FALSE(resp.at("cancelled").as_bool());
   EXPECT_TRUE(server_alive(socket));
+}
+
+TEST(Server, MetricsVerbReturnsTheObsSnapshot) {
+  TempDir dir("server-metrics");
+  const std::string socket = dir.file("serve.sock");
+  InThreadServer server(dir.path, socket);
+  ASSERT_TRUE(server_alive(socket));
+
+  Client client(socket);
+  const json::Value resp = client.request(verb("metrics"));
+  ASSERT_TRUE(resp.at("ok").as_bool());
+  const json::Value& snap = resp.at("metrics");
+  EXPECT_EQ(snap.at("kind").as_string(), "eqc_metrics");
+  // Both determinism sections are present with their three metric kinds.
+  for (const char* section : {"metrics", "runtime"}) {
+    EXPECT_NE(snap.at(section).find("counters"), nullptr);
+    EXPECT_NE(snap.at(section).find("gauges"), nullptr);
+    EXPECT_NE(snap.at(section).find("histograms"), nullptr);
+  }
+}
+
+TEST(Server, WatchVerbStreamsProgressUntilTerminal) {
+  TempDir dir("server-watch");
+  const std::string socket = dir.file("serve.sock");
+  InThreadServer server(dir.path, socket);
+  ASSERT_TRUE(server_alive(socket));
+
+  std::uint64_t id = 0;
+  {
+    Client submit_client(socket);
+    json::Value submit = verb("submit");
+    submit.set("job", small_fuzz_spec().to_json_value());
+    const json::Value resp = submit_client.request(submit);
+    ASSERT_TRUE(resp.at("ok").as_bool());
+    id = resp.at("id").as_u64();
+  }
+
+  Client client(socket);
+  json::Value req = verb("watch");
+  req.set("id", id);
+  client.send(req);
+  client.set_read_timeout(30.0);
+
+  // First response acknowledges the watch; then progress events stream
+  // until the job is terminal and the server hangs up.
+  json::Value resp;
+  ASSERT_TRUE(client.read_response(resp));
+  ASSERT_TRUE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("watching").as_u64(), id);
+
+  std::string last_status;
+  std::size_t events = 0;
+  while (client.read_response(resp)) {
+    ASSERT_TRUE(resp.at("ok").as_bool());
+    EXPECT_EQ(resp.at("event").as_string(), "progress");
+    const json::Value& job = resp.at("job");
+    EXPECT_EQ(job.at("id").as_u64(), id);
+    EXPECT_NE(job.find("elapsed_sec"), nullptr);
+    EXPECT_NE(job.find("rate_per_sec"), nullptr);
+    last_status = job.at("status").as_string();
+    ++events;
+  }
+  EXPECT_GE(events, 1u);
+  EXPECT_EQ(last_status, "done");
+
+  // An unknown job id is rejected up front, not silently streamed.
+  Client bad(socket);
+  json::Value bad_req = verb("watch");
+  bad_req.set("id", std::uint64_t{999});
+  EXPECT_FALSE(bad.request(bad_req).at("ok").as_bool());
 }
 
 // --- kill -9 soak -----------------------------------------------------------

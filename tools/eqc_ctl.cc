@@ -7,11 +7,18 @@
 //   ping                 server liveness + unfinished-job count
 //   submit FILE...       submit job spec file(s) ("-" reads stdin);
 //                        prints one assigned id per spec
-//   status [ID] [--json] show all jobs (or one); --json dumps raw JSON
+//   status [ID] [--json] show all jobs (or one); --json dumps raw JSON.
+//                        Rows include elapsed time, items/sec and an ETA
+//                        while a job runs.
 //   cancel ID            request cooperative cancellation
 //   wait ID [--timeout SEC]
-//                        poll until the job is terminal (reconnects, so a
-//                        server restart mid-wait is fine)
+//                        follow the job until it is terminal.  Prefers the
+//                        server's streaming `watch` verb (live progress
+//                        lines with throughput and ETA, ~1/s) and falls
+//                        back to status polling when the stream ends, so a
+//                        server restart mid-wait is fine.
+//   metrics [--json]     dump the server's observability snapshot (journal
+//                        append latencies, queue depth, scheduler gauges)
 //   shutdown [--finish]  drain and exit the server; --finish runs the
 //                        queue dry first
 //
@@ -25,6 +32,7 @@
 // or server error (wait: timeout).
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,7 +53,7 @@ namespace {
                "usage: eqc_ctl --socket PATH <verb> [args]\n"
                "verbs: ping | submit FILE... | status [ID] [--json] |\n"
                "       cancel ID | wait ID [--timeout SEC] |\n"
-               "       shutdown [--finish]\n");
+               "       metrics [--json] | shutdown [--finish]\n");
   std::exit(2);
 }
 
@@ -66,6 +74,17 @@ json::Value require_ok(json::Value resp) {
   return resp;
 }
 
+// Renders "  1234.5 items/s  eta 42s" from the status fields the server
+// added in schema with elapsed_sec/rate_per_sec/eta_sec; older servers
+// without them simply print nothing extra.
+void print_throughput(const json::Value& job) {
+  const json::Value* rate = job.find("rate_per_sec");
+  if (rate != nullptr && rate->as_double() > 0.0)
+    std::printf("  %.1f items/s", rate->as_double());
+  if (const json::Value* eta = job.find("eta_sec"))
+    std::printf("  eta %.0fs", eta->as_double());
+}
+
 void print_job(const json::Value& job) {
   const json::Value* counter = job.find("counter");
   std::printf("job %llu  %-8s %-9s %llu/%llu items",
@@ -80,7 +99,11 @@ void print_job(const json::Value& job) {
       std::printf("  failures %llu",
                   static_cast<unsigned long long>(failures->as_u64()));
   }
-  std::printf("  wall %.1fs", job.at("wall_sec").as_double());
+  const json::Value* elapsed = job.find("elapsed_sec");
+  std::printf("  elapsed %.1fs", elapsed != nullptr
+                                     ? elapsed->as_double()
+                                     : job.at("wall_sec").as_double());
+  print_throughput(job);
   if (const json::Value* err = job.find("error"))
     std::printf("  error: %s", err->as_string().c_str());
   if (const json::Value* report = job.find("report"))
@@ -152,11 +175,73 @@ int cmd_cancel(const std::string& socket_path, std::uint64_t id) {
   return cancelled ? 0 : 1;
 }
 
+/// 0 = done, 1 = failed/cancelled, -1 = not terminal.
+int terminal_code(const std::string& status) {
+  if (status == "done") return 0;
+  if (status == "failed" || status == "cancelled") return 1;
+  return -1;
+}
+
 int cmd_wait(const std::string& socket_path, std::uint64_t id,
              double timeout_sec) {
-  double waited = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  auto timed_out = [&] {
+    return timeout_sec > 0.0 &&
+           std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+                   .count() >= timeout_sec;
+  };
+  std::string status = "unknown";
+  // Prefer the streaming `watch` verb: the server pushes a progress event
+  // about once a second, so `wait` renders live throughput without
+  // hammering it with status polls.  Any stream failure drops to the old
+  // reconnect-per-poll loop (old servers, watcher capacity, restarts).
+  bool use_watch = true;
   for (;;) {
-    std::string status;
+    if (use_watch) {
+      try {
+        serve::Client client(socket_path);
+        json::Object req;
+        req.emplace_back("verb", "watch");
+        req.emplace_back("id", id);
+        client.send(json::Value(std::move(req)));
+        client.set_read_timeout(10.0);
+        json::Value resp;
+        while (!timed_out() && client.read_response(resp)) {
+          const json::Value* ok = resp.find("ok");
+          if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+            use_watch = false;  // unknown verb/job: don't retry the stream
+            break;
+          }
+          const json::Value* job = resp.find("job");
+          if (job == nullptr) continue;  // the {"watching":id} ack
+          status = job->at("status").as_string();
+          const int code = terminal_code(status);
+          if (code >= 0) {
+            std::printf("job %llu %s\n", static_cast<unsigned long long>(id),
+                        status.c_str());
+            return code;
+          }
+          std::printf(
+              "job %llu %s %llu/%llu items",
+              static_cast<unsigned long long>(id), status.c_str(),
+              static_cast<unsigned long long>(job->at("items_done").as_u64()),
+              static_cast<unsigned long long>(
+                  job->at("total_items").as_u64()));
+          print_throughput(*job);
+          std::printf("\n");
+          std::fflush(stdout);
+        }
+      } catch (const std::exception&) {
+        // Server unreachable: fall through to the polling backoff below,
+        // then try the stream again.
+      }
+    }
+    if (timed_out()) {
+      std::fprintf(stderr, "wait: timed out after %.0fs (last status: %s)\n",
+                   timeout_sec, status.c_str());
+      return 2;
+    }
     // Reconnect per poll: a draining/restarting server between polls is
     // expected during rolling restarts, not an error.
     try {
@@ -169,23 +254,43 @@ int cmd_wait(const std::string& socket_path, std::uint64_t id,
     } catch (const std::exception&) {
       status = "unreachable";
     }
-    if (status == "done") {
-      std::printf("job %llu done\n", static_cast<unsigned long long>(id));
-      return 0;
-    }
-    if (status == "failed" || status == "cancelled") {
+    const int code = terminal_code(status);
+    if (code >= 0) {
       std::printf("job %llu %s\n", static_cast<unsigned long long>(id),
                   status.c_str());
-      return 1;
-    }
-    if (timeout_sec > 0.0 && waited >= timeout_sec) {
-      std::fprintf(stderr, "wait: timed out after %.0fs (last status: %s)\n",
-                   timeout_sec, status.c_str());
-      return 2;
+      return code;
     }
     ::usleep(200 * 1000);
-    waited += 0.2;
   }
+}
+
+int cmd_metrics(const std::string& socket_path, bool raw) {
+  json::Object req;
+  req.emplace_back("verb", "metrics");
+  const json::Value resp = require_ok(request(socket_path, std::move(req)));
+  const json::Value& snap = resp.at("metrics");
+  if (raw) {
+    std::printf("%s\n", snap.dump().c_str());
+    return 0;
+  }
+  for (const char* section : {"metrics", "runtime"}) {
+    const json::Value& s = snap.at(section);
+    std::printf("%s:\n", section);
+    for (const auto& [name, v] : s.at("counters").as_object())
+      std::printf("  %-40s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v.as_u64()));
+    for (const auto& [name, v] : s.at("gauges").as_object())
+      std::printf("  %-40s %lld\n", name.c_str(),
+                  static_cast<long long>(v.as_i64()));
+    for (const auto& [name, v] : s.at("histograms").as_object()) {
+      const std::uint64_t n = v.at("count").as_u64();
+      const double sum = v.at("sum").as_double();
+      std::printf("  %-40s n=%llu  mean %.3f ms\n", name.c_str(),
+                  static_cast<unsigned long long>(n),
+                  n > 0 ? sum / static_cast<double>(n) : 0.0);
+    }
+  }
+  return 0;
 }
 
 int cmd_shutdown(const std::string& socket_path, bool finish) {
@@ -247,6 +352,10 @@ int main(int argc, char** argv) {
       }
       if (!have_id) usage();
       return cmd_wait(socket_path, id, timeout);
+    }
+    if (verb == "metrics") {
+      const bool raw = !args.empty() && args[0] == "--json";
+      return cmd_metrics(socket_path, raw);
     }
     if (verb == "shutdown") {
       const bool finish = !args.empty() && args[0] == "--finish";

@@ -36,6 +36,11 @@
 //   --replay FILE     re-execute every malignant set recorded in FILE and
 //                     verify each still fails (exit 0 iff all replay)
 //
+// Observability:
+//   --trace-out OUT   collect scoped spans, write Chrome trace-event JSON
+//   --metrics-out OUT write the obs metrics snapshot; its "metrics"
+//                     section is byte-identical across --jobs values
+//
 // Exit status: 0 = clean pass; 1 = the single-fault FT check fails (so
 // campaigns can gate CI) or --replay finds a set that no longer fails;
 // 2 = usage / runtime error; 3 = interrupted by SIGINT/SIGTERM with a
@@ -65,6 +70,8 @@
 #include "codes/steane.h"
 #include "noise/model.h"
 #include "noise/monte_carlo.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace eqc;
 
@@ -106,6 +113,8 @@ struct Options {
   bool tripwire = false;
   std::string json_out;
   std::string replay;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 [[noreturn]] void usage() {
@@ -118,7 +127,8 @@ struct Options {
       "       [--pairs BUDGET] [--mc P TRIALS] [--seed S]\n"
       "       [--campaign K] [--budget B] [--chaos P TRIALS] [--jobs N]\n"
       "       [--checkpoint FILE] [--resume] [--shrink|--no-shrink]\n"
-      "       [--tripwire] [--json OUT] [--replay FILE]\n");
+      "       [--tripwire] [--json OUT] [--replay FILE]\n"
+      "       [--trace-out OUT] [--metrics-out OUT]\n");
   std::exit(2);
 }
 
@@ -182,6 +192,10 @@ Options parse(int argc, char** argv) {
       opt.json_out = next("--json");
     else if (arg == "--replay")
       opt.replay = next("--replay");
+    else if (arg == "--trace-out")
+      opt.trace_out = next("--trace-out");
+    else if (arg == "--metrics-out")
+      opt.metrics_out = next("--metrics-out");
     else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage();
@@ -250,17 +264,40 @@ void print_campaign_report(const analysis::CampaignReport& report) {
 
 int run(const Options& opt);
 
+// Writes --trace-out / --metrics-out even on an interrupted or failed
+// scan: a partial trace is exactly what a stall diagnosis needs.
+int write_obs_outputs(const Options& opt, int rc) {
+  if (!opt.trace_out.empty()) {
+    if (!obs::write_trace_file(opt.trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", opt.trace_out.c_str());
+      return 2;
+    }
+    std::printf("trace written to %s\n", opt.trace_out.c_str());
+  }
+  if (!opt.metrics_out.empty()) {
+    if (!obs::write_metrics_file(opt.metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", opt.metrics_out.c_str());
+      return 2;
+    }
+    std::printf("metrics written to %s\n", opt.metrics_out.c_str());
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   install_stop_handlers();
+  if (!opt.trace_out.empty()) obs::install_trace_sink();
+  if (!opt.metrics_out.empty()) obs::enable_timing(true);
   try {
-    return run(opt);
+    return write_obs_outputs(opt, run(opt));
   } catch (const std::exception& e) {
     // Checkpoint fingerprint mismatches, malformed replay artifacts and
     // contract violations all land here: report and exit, don't abort.
     std::fprintf(stderr, "eqc_faultscan: error: %s\n", e.what());
+    write_obs_outputs(opt, 2);
     return 2;
   }
 }

@@ -24,6 +24,9 @@
 //   --corpus DIR      write one JSON artifact + regression snippet per
 //                     failure into DIR (must exist)
 //   --replay FILE     replay one failure artifact; exit 0 iff it still fails
+//   --trace-out OUT   collect scoped spans, write Chrome trace-event JSON
+//   --metrics-out OUT write the obs metrics snapshot; its "metrics"
+//                     section is byte-identical across --jobs values
 //
 // Exit status: 0 = no failures (or replay reproduced), 1 = failures found
 // (or replay did NOT reproduce), 2 = usage / runtime error, 3 = interrupted
@@ -43,6 +46,8 @@
 #include <sstream>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "testing/fuzz.h"
 
 using namespace eqc;
@@ -67,6 +72,8 @@ struct Options {
   std::string json_out;
   std::string corpus_dir;
   std::string replay;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 [[noreturn]] void usage() {
@@ -76,7 +83,8 @@ struct Options {
       "       [--qubits N] [--depth D] [--seed S] [--trials T] [--jobs N]\n"
       "       [--time-budget SEC] [--measure-prob P] [--tol T] [--no-shrink]\n"
       "       [--plant-bug B] [--checkpoint FILE] [--resume]\n"
-      "       [--json OUT] [--corpus DIR] [--replay FILE]\n");
+      "       [--json OUT] [--corpus DIR] [--replay FILE]\n"
+      "       [--trace-out OUT] [--metrics-out OUT]\n");
   std::exit(2);
 }
 
@@ -123,6 +131,10 @@ Options parse(int argc, char** argv) {
       opt.corpus_dir = next("--corpus");
     else if (arg == "--replay")
       opt.replay = next("--replay");
+    else if (arg == "--trace-out")
+      opt.trace_out = next("--trace-out");
+    else if (arg == "--metrics-out")
+      opt.metrics_out = next("--metrics-out");
     else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage();
@@ -219,6 +231,26 @@ int run(Options opt) {
   return report.failures.empty() ? 0 : 1;
 }
 
+// Writes --trace-out / --metrics-out even on an interrupted or failed
+// run: a partial trace is exactly what a stall diagnosis needs.
+int write_obs_outputs(const Options& opt, int rc) {
+  if (!opt.trace_out.empty()) {
+    if (!obs::write_trace_file(opt.trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", opt.trace_out.c_str());
+      return 2;
+    }
+    std::printf("trace written to %s\n", opt.trace_out.c_str());
+  }
+  if (!opt.metrics_out.empty()) {
+    if (!obs::write_metrics_file(opt.metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", opt.metrics_out.c_str());
+      return 2;
+    }
+    std::printf("metrics written to %s\n", opt.metrics_out.c_str());
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,7 +259,10 @@ int main(int argc, char** argv) {
   try {
     Options opt = parse(argc, argv);
     install_stop_handlers();
-    return run(std::move(opt));
+    if (!opt.trace_out.empty()) obs::install_trace_sink();
+    if (!opt.metrics_out.empty()) obs::enable_timing(true);
+    const Options obs_opt = opt;  // run() consumes opt
+    return write_obs_outputs(obs_opt, run(std::move(opt)));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "eqc_fuzz: error: %s\n", e.what());
     return 2;

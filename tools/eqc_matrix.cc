@@ -27,6 +27,12 @@
 //   --json OUT        write the matrix report JSON to OUT
 //   --smoke           tiny grid + budget for CI smoke runs
 //
+// Observability:
+//   --trace-out OUT   collect scoped spans, write Chrome trace-event JSON
+//                     (load in Perfetto / chrome://tracing)
+//   --metrics-out OUT write the obs metrics snapshot; its "metrics"
+//                     section is byte-identical across --jobs values
+//
 // Exit status: 0 = sweep complete; 2 = usage/runtime error;
 // 3 = interrupted by SIGINT/SIGTERM (finished cells kept their
 // checkpoints — re-run with the same --checkpoint DIR to continue).
@@ -40,6 +46,8 @@
 #include <vector>
 
 #include "analysis/matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace eqc;
 
@@ -84,13 +92,15 @@ std::vector<int> split_csv_ints(const std::string& s) {
       "usage: eqc_matrix [--gadgets LIST] [--codes LIST] [--ks LIST]\n"
       "       [--noises LIST] [--mc P] [--fault-k K] [--budget B]\n"
       "       [--shrink] [--jobs N] [--seed S] [--checkpoint DIR]\n"
-      "       [--json OUT] [--smoke]\n");
+      "       [--json OUT] [--trace-out OUT] [--metrics-out OUT] [--smoke]\n");
   std::exit(2);
 }
 
 struct Options {
   analysis::MatrixConfig cfg;
   std::string json_out;
+  std::string trace_out;
+  std::string metrics_out;
   bool smoke = false;
 };
 
@@ -132,6 +142,10 @@ Options parse(int argc, char** argv) {
       opt.cfg.checkpoint_prefix = std::string(next("--checkpoint")) + "/";
     else if (arg == "--json")
       opt.json_out = next("--json");
+    else if (arg == "--trace-out")
+      opt.trace_out = next("--trace-out");
+    else if (arg == "--metrics-out")
+      opt.metrics_out = next("--metrics-out");
     else if (arg == "--smoke")
       opt.smoke = true;
     else {
@@ -213,15 +227,38 @@ int run(const Options& opt) {
   return 0;
 }
 
+// Writes --trace-out / --metrics-out even on an interrupted or failed
+// sweep: a partial trace is exactly what a stall diagnosis needs.
+int write_obs_outputs(const Options& opt, int rc) {
+  if (!opt.trace_out.empty()) {
+    if (!obs::write_trace_file(opt.trace_out)) {
+      std::fprintf(stderr, "cannot write %s\n", opt.trace_out.c_str());
+      return 2;
+    }
+    std::printf("trace written to %s\n", opt.trace_out.c_str());
+  }
+  if (!opt.metrics_out.empty()) {
+    if (!obs::write_metrics_file(opt.metrics_out)) {
+      std::fprintf(stderr, "cannot write %s\n", opt.metrics_out.c_str());
+      return 2;
+    }
+    std::printf("metrics written to %s\n", opt.metrics_out.c_str());
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   install_stop_handlers();
+  if (!opt.trace_out.empty()) obs::install_trace_sink();
+  if (!opt.metrics_out.empty()) obs::enable_timing(true);
   try {
-    return run(opt);
+    return write_obs_outputs(opt, run(opt));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "eqc_matrix: error: %s\n", e.what());
+    write_obs_outputs(opt, 2);
     return 2;
   }
 }

@@ -11,6 +11,9 @@
 //   --socket PATH   listening Unix socket (default DIR/serve.sock)
 //   --max-jobs N    jobs run concurrently (default 2); each job brings
 //                   its own engine worker budget ("jobs" in its spec)
+//   --trace-out OUT   write a Chrome trace-event JSON of the server's
+//                     spans on exit (the `metrics` verb serves live data)
+//   --metrics-out OUT write the obs metrics snapshot on exit
 //
 // The server accepts JSON-line requests on the socket (see eqc_ctl),
 // journals every job state transition to DIR/journal.jsonl BEFORE acting
@@ -35,6 +38,8 @@
 #include <cstring>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 
 using namespace eqc;
@@ -56,7 +61,8 @@ void install_stop_handlers() {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: eqc_serve --state DIR [--socket PATH] [--max-jobs N]\n");
+               "usage: eqc_serve --state DIR [--socket PATH] [--max-jobs N]\n"
+               "       [--trace-out OUT] [--metrics-out OUT]\n");
   std::exit(2);
 }
 
@@ -64,6 +70,8 @@ void install_stop_handlers() {
 
 int main(int argc, char** argv) {
   serve::ServerConfig cfg;
+  std::string trace_out;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&](const char* what) -> const char* {
@@ -80,6 +88,10 @@ int main(int argc, char** argv) {
     else if (arg == "--max-jobs")
       cfg.max_concurrent_jobs =
           static_cast<unsigned>(std::atoi(next("--max-jobs")));
+    else if (arg == "--trace-out")
+      trace_out = next("--trace-out");
+    else if (arg == "--metrics-out")
+      metrics_out = next("--metrics-out");
     else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage();
@@ -88,8 +100,16 @@ int main(int argc, char** argv) {
   if (cfg.state_dir.empty()) usage();
   cfg.stop = &g_stop;
   install_stop_handlers();
+  if (!trace_out.empty()) obs::install_trace_sink();
+  // A daemon always times its latencies: the `metrics` verb serves the
+  // journal/checkpoint histograms live, whatever flags it started with.
+  obs::enable_timing(true);
   try {
     const std::size_t unfinished = serve::run_server(cfg);
+    if (!trace_out.empty() && !obs::write_trace_file(trace_out))
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+    if (!metrics_out.empty() && !obs::write_metrics_file(metrics_out))
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
     return unfinished == 0 ? 0 : kExitDrained;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "eqc_serve: error: %s\n", e.what());
