@@ -3,12 +3,16 @@
 // capacity-planning numbers for the experiments (E1-E8), not paper claims.
 #include <benchmark/benchmark.h>
 
+#include "analysis/experiments.h"
+#include "analysis/frame_oracle.h"
 #include "circuit/execute.h"
 #include "circuit/tab_backend.h"
 #include "codes/steane.h"
 #include "common/rng.h"
+#include "frame/driver.h"
 #include "ftqc/layout.h"
 #include "ftqc/ngate.h"
+#include "noise/model.h"
 #include "qsim/gates.h"
 #include "qsim/state_vector.h"
 #include "stab/tableau.h"
@@ -86,6 +90,42 @@ void BM_NGateTableauRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NGateTableauRun);
+
+// Monte-Carlo engine throughput, items = trials: the per-trial TabBackend
+// execution vs the 64-lane batch frame engine on the same N-gate
+// experiment.  The ratio of the two items/sec numbers is the frame
+// speedup (the gated figure lives in bench_fig1_ngate's frames_mc phase).
+void BM_NGateMcPerTrial(benchmark::State& state) {
+  const auto built = analysis::build_gadget_experiment(analysis::GadgetSpec{});
+  const auto model = noise::NoiseModel::paper_model(1e-3);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    Rng rng(derive_stream_seed(7, i++));
+    circuit::TabBackend backend(built.ex.num_qubits, rng.split());
+    circuit::execute(built.ex.prep, backend);
+    noise::StochasticInjector injector(model, rng.split());
+    const auto r = circuit::execute(built.ex.gadget, backend, &injector);
+    benchmark::DoNotOptimize(built.ex.failed(backend, r));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NGateMcPerTrial);
+
+void BM_NGateMcFrameBatch(benchmark::State& state) {
+  const auto built = analysis::build_gadget_experiment(analysis::GadgetSpec{});
+  const auto prog = analysis::make_frame_program(built.ex);
+  const auto oracle = analysis::make_frame_oracle("ngate", built, prog);
+  const auto model = noise::NoiseModel::paper_model(1e-3);
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    frame::FrameBatch batch(prog);
+    batch.run_stochastic(model, 7, base, frame::FrameBatch::kLanes);
+    benchmark::DoNotOptimize(oracle(batch));
+    base += frame::FrameBatch::kLanes;
+  }
+  state.SetItemsProcessed(state.iterations() * frame::FrameBatch::kLanes);
+}
+BENCHMARK(BM_NGateMcFrameBatch);
 
 void BM_MeasurePauliSteane(benchmark::State& state) {
   circuit::TabBackend backend(7, Rng(1));

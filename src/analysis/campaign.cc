@@ -5,11 +5,14 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <unordered_set>
 
+#include "analysis/frame_oracle.h"
 #include "circuit/tab_backend.h"
+#include "frame/frames.h"
 #include "common/assert.h"
 #include "common/checkpoint.h"
 #include "common/parallel.h"
@@ -98,6 +101,12 @@ struct ShardState {
 };
 
 /// Everything immutable during the sweep.
+/// Precompiled frame engine for verdicts (engine == "frames").
+struct FramePlan {
+  frame::FrameProgram prog;
+  frame::BatchOracle oracle;
+};
+
 struct CampaignPlan {
   const FaultExperiment* ex = nullptr;
   const CampaignConfig* cfg = nullptr;
@@ -108,7 +117,27 @@ struct CampaignPlan {
   /// Pre-sampled combination ranks (budgeted KFault); empty otherwise.
   std::vector<std::uint64_t> sampled_ranks;
   unsigned num_shards = 1;
+  /// Non-null when the frames engine is active.
+  std::shared_ptr<const FramePlan> frames;
 };
+
+/// Frame-engine verdict for one fault set: a single planted lane through
+/// the precompiled program, judged by the generic lane oracle.  Falls back
+/// to the per-trial replay when the set drives a trial through a branch
+/// deviation the frame model cannot absorb as a Pauli.
+bool frame_verdict(const FramePlan& fp, const FaultExperiment& ex,
+                   const std::vector<Fault>& faults) {
+  try {
+    std::vector<std::vector<frame::PlantedFault>> lanes(1);
+    for (const auto& f : faults)
+      lanes[0].push_back(frame::PlantedFault{f.ordinal, f.error});
+    frame::FrameBatch batch(fp.prog);
+    batch.run_planted(lanes);
+    return (fp.oracle(batch) & 1) != 0;
+  } catch (const frame::FrameUnsupported&) {
+    return run_with_faults(ex, faults);
+  }
+}
 
 bool distinct_ordinals(const std::vector<std::uint32_t>& combo,
                        const std::vector<Fault>& faults) {
@@ -177,7 +206,10 @@ ItemOutcome evaluate_item(const CampaignPlan& plan, std::uint64_t pos) {
   out.tested = true;
   // An empty chaos configuration is a noiseless run: tested, never
   // malignant (skips the simulation).
-  out.malignant = !out.faults.empty() && run_with_faults(ex, out.faults);
+  out.malignant =
+      !out.faults.empty() &&
+      (plan.frames != nullptr ? frame_verdict(*plan.frames, ex, out.faults)
+                              : run_with_faults(ex, out.faults));
   return out;
 }
 
@@ -533,6 +565,7 @@ CampaignReport run_campaign(const FaultExperiment& ex,
   EQC_EXPECTS(ex.failed != nullptr);
   EQC_EXPECTS(cfg.num_shards >= 1);
   EQC_EXPECTS(cfg.mode != CampaignMode::Chaos || cfg.budget > 0);
+  EQC_EXPECTS(cfg.engine == "trials" || cfg.engine == "frames");
 
   CampaignPlan plan;
   plan.ex = &ex;
@@ -540,6 +573,20 @@ CampaignReport run_campaign(const FaultExperiment& ex,
   plan.faults = enumerate_single_faults(ex);
   plan.sites = circuit::enumerate_fault_sites(ex.gadget);
   plan.num_shards = cfg.num_shards;
+  if (cfg.engine == "frames") {
+    try {
+      auto fp = std::make_shared<FramePlan>(
+          FramePlan{frame::FrameProgram(ex.num_qubits, ex.prep, ex.gadget,
+                                        ex.seed),
+                    frame::BatchOracle{}});
+      fp->oracle = make_generic_frame_oracle(ex, fp->prog);
+      plan.frames = std::move(fp);
+    } catch (const ContractViolation&) {
+      // Non-Clifford or otherwise non-compilable gadget: degrade to the
+      // per-trial engine (identical verdicts, just slower).
+    } catch (const frame::FrameUnsupported&) {
+    }
+  }
 
   if (cfg.mode == CampaignMode::KFault) {
     EQC_EXPECTS(cfg.k >= 1 && cfg.k <= plan.faults.size());

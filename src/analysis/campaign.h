@@ -128,6 +128,15 @@ struct CampaignConfig {
   /// Optional invariant tripwire, evaluated while malignant sets are
   /// replayed for attribution.
   TripwireOptions tripwire;
+  /// Verdict engine: "trials" replays each fault set through the per-trial
+  /// executor; "frames" evaluates it as a planted Pauli frame against the
+  /// precompiled reference pass (same verdicts — the engine falls back to
+  /// the per-trial replay item-by-item when a set exercises a deviation
+  /// the frame model cannot absorb).  Malignant-set confirmation, shrink
+  /// and tripwire replay always use the per-trial executor, and the
+  /// checkpoint fingerprint is engine-independent: checkpoints are
+  /// interchangeable between engines.
+  std::string engine = "trials";
 };
 
 /// One confirmed counterexample.

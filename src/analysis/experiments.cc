@@ -45,6 +45,7 @@ BuiltGadget build_ngate(const GadgetSpec& spec) {
   ex.seed = spec.seed;
   built.main_block = source;
   built.code = c;
+  built.ngate_out = out;
   return built;
 }
 

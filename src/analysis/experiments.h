@@ -66,6 +66,11 @@ struct BuiltGadget {
   /// Preferred tripwire probe ordinals (round boundaries); empty = every
   /// site.
   std::vector<std::size_t> probe_after;
+  /// N gate only: the classical output register the majority predicate
+  /// reads (empty for other gadgets).  Exposed so precomputed failure
+  /// oracles (frame engine) can reproduce ex.failed without re-deriving
+  /// the layout.
+  std::vector<std::uint32_t> ngate_out;
 };
 
 /// True for the gadget names build_gadget_experiment accepts.

@@ -187,14 +187,23 @@ unsigned min_weight_match(unsigned syndrome, std::size_t rows, std::size_t n,
 
 }  // namespace
 
+unsigned CssCode::x_fix_for_z_syndrome(unsigned sz) const {
+  return min_weight_match(sz, num_z_checks(), n(),
+                          [this](std::size_t r) { return z_check_mask(r); });
+}
+
+unsigned CssCode::z_fix_for_x_syndrome(unsigned sx) const {
+  return min_weight_match(sx, num_x_checks(), n(),
+                          [this](std::size_t r) { return x_check_mask(r); });
+}
+
 void CssCode::perfect_correct(stab::Tableau& tab, const CodeBlock& b,
                               Rng& rng) const {
   const std::size_t total = tab.num_qubits();
   unsigned sz = 0;
   for (std::size_t row = 0; row < num_z_checks(); ++row)
     if (tab.measure_pauli(z_stabilizer(total, b, row), rng)) sz |= 1u << row;
-  const unsigned fix_x = min_weight_match(
-      sz, num_z_checks(), n(), [this](std::size_t r) { return z_check_mask(r); });
+  const unsigned fix_x = x_fix_for_z_syndrome(sz);
   if (fix_x != 0) {
     pauli::PauliString fix(total);
     for (std::size_t i = 0; i < n(); ++i)
@@ -204,8 +213,7 @@ void CssCode::perfect_correct(stab::Tableau& tab, const CodeBlock& b,
   unsigned sx = 0;
   for (std::size_t row = 0; row < num_x_checks(); ++row)
     if (tab.measure_pauli(x_stabilizer(total, b, row), rng)) sx |= 1u << row;
-  const unsigned fix_z = min_weight_match(
-      sx, num_x_checks(), n(), [this](std::size_t r) { return x_check_mask(r); });
+  const unsigned fix_z = z_fix_for_x_syndrome(sx);
   if (fix_z != 0) {
     pauli::PauliString fix(total);
     for (std::size_t i = 0; i < n(); ++i)

@@ -135,6 +135,13 @@ class CssCode {
   pauli::PauliString logical_z_op(std::size_t total, const CodeBlock& b) const;
 
   // --- verification-only decoding (tableau oracles) ------------------------
+  /// Min-weight X pattern (bitmask over block positions) with the given
+  /// Z-type syndrome — the ideal bounded-distance decode perfect_correct
+  /// applies.  Exposed so precomputed failure oracles (frame simulator)
+  /// reproduce perfect_correct's exact correction choice.
+  unsigned x_fix_for_z_syndrome(unsigned sz) const;
+  /// Min-weight Z pattern with the given X-type syndrome.
+  unsigned z_fix_for_x_syndrome(unsigned sx) const;
   /// One round of ideal error correction: measure every generator, apply
   /// the single-qubit lookup correction.
   void perfect_correct(stab::Tableau& tab, const CodeBlock& b, Rng& rng) const;

@@ -1,9 +1,5 @@
 #include "common/rng.h"
 
-#include <cmath>
-
-#include "common/assert.h"
-
 namespace eqc {
 
 std::uint64_t split_mix64(std::uint64_t& state) {
@@ -13,32 +9,9 @@ std::uint64_t split_mix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-namespace {
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = split_mix64(sm);
-}
-
-std::uint64_t Rng::operator()() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 top bits -> double in [0, 1).
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
 std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t index) {
@@ -49,13 +22,6 @@ std::uint64_t derive_stream_seed(std::uint64_t seed, std::uint64_t index) {
   (void)split_mix64(state);
   (void)split_mix64(state);
   return split_mix64(state);
-}
-
-bool Rng::bernoulli(double p) {
-  EQC_EXPECTS(!std::isnan(p));
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform() < p;
 }
 
 std::uint64_t Rng::below(std::uint64_t bound) {
@@ -73,7 +39,7 @@ Rng Rng::split() {
   // from the parent's subsequent output.
   const std::uint64_t a = (*this)();
   const std::uint64_t b = (*this)();
-  return Rng(a ^ rotl(b, 29) ^ 0xD1B54A32D192ED03ULL);
+  return Rng(a ^ rng_detail::rotl(b, 29) ^ 0xD1B54A32D192ED03ULL);
 }
 
 }  // namespace eqc

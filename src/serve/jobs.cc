@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "analysis/campaign.h"
+#include "analysis/frame_oracle.h"
 #include "analysis/matrix.h"
 #include "codes/css_code.h"
+#include "frame/driver.h"
 #include "common/assert.h"
 #include "common/checkpoint.h"
 #include "noise/model.h"
@@ -115,6 +117,9 @@ json::Value JobSpec::to_json_value() const {
     obj.emplace_back("p", mc.p);
     obj.emplace_back("trials", mc.trials);
     obj.emplace_back("block", mc.block);
+    // Default engine is omitted: pre-engine specs round-trip (and
+    // fingerprint) byte-identically.
+    if (mc.engine != "trials") obj.emplace_back("engine", mc.engine);
   } else if (type == JobType::Matrix) {
     obj.emplace_back("mode", matrix.mc ? "mc" : "campaign");
     obj.emplace_back("gadgets", to_json_array(matrix.gadgets));
@@ -126,6 +131,7 @@ json::Value JobSpec::to_json_value() const {
     obj.emplace_back("shrink", matrix.shrink);
     obj.emplace_back("p", matrix.p);
     obj.emplace_back("trials", matrix.trials);
+    if (matrix.engine != "trials") obj.emplace_back("engine", matrix.engine);
   } else {
     obj.emplace_back("gateset", testing::to_string(fuzz.gate_set));
     obj.emplace_back("qubits", static_cast<std::uint64_t>(fuzz.qubits));
@@ -185,6 +191,8 @@ JobSpec JobSpec::from_json(const json::Value& v) {
     spec.mc.p = get_double(v, "p", 1e-3);
     spec.mc.trials = get_u64(v, "trials", 1000);
     spec.mc.block = get_u64(v, "block", 256);
+    spec.mc.engine = get_string(v, "engine", "trials");
+    EQC_CHECK(spec.mc.engine == "trials" || spec.mc.engine == "frames");
   } else if (spec.type == JobType::Matrix) {
     const std::string mode = get_string(v, "mode", "campaign");
     EQC_CHECK(mode == "campaign" || mode == "mc");
@@ -198,6 +206,9 @@ JobSpec JobSpec::from_json(const json::Value& v) {
     spec.matrix.shrink = get_bool(v, "shrink", false);
     spec.matrix.p = get_double(v, "p", 1e-3);
     spec.matrix.trials = get_u64(v, "trials", 2000);
+    spec.matrix.engine = get_string(v, "engine", "trials");
+    EQC_CHECK(spec.matrix.engine == "trials" ||
+              spec.matrix.engine == "frames");
   } else {
     spec.fuzz.gate_set =
         testing::gate_set_from_string(get_string(v, "gateset", "clifford"));
@@ -360,16 +371,25 @@ JobOutcome run_mc_job(
 
   const noise::NoiseModel model =
       analysis::scenario_noise_model(spec.gadget.scenario, spec.mc.p);
-  const auto result = noise::run_trials_resumable(
-      spec.mc.trials, spec.seed,
-      [&ex, model](std::uint64_t, Rng& rng) {
-        circuit::TabBackend backend(ex.num_qubits, rng.split());
-        circuit::execute(ex.prep, backend);
-        noise::StochasticInjector injector(model, rng.split());
-        const auto r = circuit::execute(ex.gadget, backend, &injector);
-        return ex.failed(backend, r);
-      },
-      opt);
+  noise::McRunResult result;
+  if (spec.mc.engine == "frames") {
+    const frame::FrameProgram prog = analysis::make_frame_program(ex);
+    const frame::BatchOracle oracle =
+        analysis::make_frame_oracle(spec.gadget.gadget, built, prog);
+    result = frame::run_trials_resumable(prog, model, spec.mc.trials,
+                                         spec.seed, oracle, opt);
+  } else {
+    result = noise::run_trials_resumable(
+        spec.mc.trials, spec.seed,
+        [&ex, model](std::uint64_t, Rng& rng) {
+          circuit::TabBackend backend(ex.num_qubits, rng.split());
+          circuit::execute(ex.prep, backend);
+          noise::StochasticInjector injector(model, rng.split());
+          const auto r = circuit::execute(ex.gadget, backend, &injector);
+          return ex.failed(backend, r);
+        },
+        opt);
+  }
 
   // Final flush: a cancelled run persists its exact stopping point even
   // when the stop landed mid-block.
@@ -392,6 +412,8 @@ JobOutcome run_mc_job(
     obj.emplace_back("p", spec.mc.p);
     obj.emplace_back("trials", spec.mc.trials);
     obj.emplace_back("seed", spec.seed);
+    if (spec.mc.engine != "trials")
+      obj.emplace_back("engine", spec.mc.engine);
     obj.emplace_back("counter", result.counter.to_json_value());
     write_file_atomically(paths.report, json::Value(std::move(obj)).dump());
   }
@@ -416,6 +438,7 @@ JobOutcome run_matrix_job(
   cfg.shrink = spec.matrix.shrink;
   cfg.mc_p = spec.matrix.p;
   cfg.mc_trials = spec.matrix.trials;
+  cfg.engine = spec.matrix.engine;
   cfg.jobs = spec.jobs;
   cfg.seed = spec.seed;
   // Per-cell checkpoints land as flat siblings of the job checkpoint path

@@ -219,6 +219,13 @@ bool Tableau::is_deterministic_z(std::size_t q) const {
   return true;
 }
 
+std::size_t Tableau::z_measure_pivot(std::size_t q) const {
+  EQC_EXPECTS(q < n_);
+  for (std::size_t i = n_; i < 2 * n_; ++i)
+    if (xbit(i, q)) return i - n_;
+  return n_;
+}
+
 bool Tableau::deterministic_z_value(std::size_t q) const {
   EQC_EXPECTS(is_deterministic_z(q));
   // Accumulate the product of the relevant stabilizer rows into local

@@ -71,6 +71,12 @@ class Tableau {
   /// Validates the internal symplectic invariants; throws on corruption.
   void check_invariants() const;
 
+  /// Index i (0 <= i < n) of the first stabilizer generator anticommuting
+  /// with Z_q (an X or Y at q) — the pivot row measure() would collapse —
+  /// or n when none exists (Z_q deterministic).  Lets a caller capture
+  /// stabilizer(i) *before* a random measurement rewrites it.
+  std::size_t z_measure_pivot(std::size_t q) const;
+
  private:
   std::size_t words() const { return (n_ + 63) / 64; }
   bool xbit(std::size_t row, std::size_t q) const;

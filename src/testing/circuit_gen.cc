@@ -11,6 +11,7 @@ const char* to_string(GateSet gs) {
     case GateSet::Clifford: return "clifford";
     case GateSet::CliffordCC: return "clifford-cc";
     case GateSet::CliffordT: return "clifford-t";
+    case GateSet::Frames: return "frames";
   }
   return "?";
 }
@@ -19,6 +20,7 @@ GateSet gate_set_from_string(const std::string& name) {
   if (name == "clifford") return GateSet::Clifford;
   if (name == "clifford-cc") return GateSet::CliffordCC;
   if (name == "clifford-t") return GateSet::CliffordT;
+  if (name == "frames") return GateSet::Frames;
   throw ContractViolation("unknown gate set: " + name);
 }
 
@@ -84,6 +86,7 @@ circuit::Circuit CircuitGen::generate(Rng& rng) const {
     }
     switch (opt_.gate_set) {
       case GateSet::Clifford:
+      case GateSet::Frames:  // same menu; the oracle plan differs
         emit_clifford(c, rng, 0, n);
         break;
       case GateSet::CliffordT:

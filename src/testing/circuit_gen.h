@@ -12,6 +12,12 @@
 //    backends.
 //  * CliffordT     — Clifford plus T/Tdg/CS/CSdg/CCX/CCZ on arbitrary
 //    qubits; state-vector only (used for sv-side metamorphic self-checks).
+//  * Frames        — the Clifford menu restricted to ops the batch
+//    Pauli-frame simulator absorbs exactly (no classically controlled
+//    gates: circuit JSON cannot serialize their predicates, so failures
+//    would not be replayable).  Selects the frame-vs-trial differential
+//    oracle, which proves the 64-lane frame engine bit-exact against the
+//    per-trial TabBackend under stochastic noise.
 //
 // Generation is a pure function of the supplied Rng stream, so every fuzz
 // trial is replayable from (master seed, trial index).
@@ -25,10 +31,11 @@
 
 namespace eqc::testing {
 
-enum class GateSet { Clifford, CliffordCC, CliffordT };
+enum class GateSet { Clifford, CliffordCC, CliffordT, Frames };
 
 const char* to_string(GateSet gs);
-/// Parses "clifford" / "clifford-cc" / "clifford-t"; throws on anything else.
+/// Parses "clifford" / "clifford-cc" / "clifford-t" / "frames"; throws on
+/// anything else.
 GateSet gate_set_from_string(const std::string& name);
 
 struct CircuitGenOptions {

@@ -159,6 +159,10 @@ std::vector<std::string> unitary_oracles(GateSet gs) {
     case GateSet::CliffordT:
       // sv-only self-checks: the tableau cannot execute T.
       return {"append-inverse-sv", "schedule-reorder-sv", "relabel-sv"};
+    case GateSet::Frames:
+      // The frame engine is the subject; differential anchors the per-trial
+      // TabBackend it is compared against.
+      return {"differential", "frame-vs-trial"};
   }
   return {};
 }
@@ -170,6 +174,8 @@ std::vector<std::string> measured_oracles(GateSet gs) {
       return {"differential", "relabel-sv", "relabel-tab"};
     case GateSet::CliffordT:
       return {"relabel-sv"};
+    case GateSet::Frames:
+      return {"differential", "frame-vs-trial"};
   }
   return {};
 }

@@ -8,6 +8,8 @@
 #include "circuit/execute.h"
 #include "circuit/schedule.h"
 #include "common/assert.h"
+#include "frame/frames.h"
+#include "noise/model.h"
 #include "testing/circuit_edit.h"
 
 namespace eqc::testing {
@@ -26,6 +28,7 @@ const char* to_string(PlantedBug bug) {
     case PlantedBug::CnotReversed: return "cnot-reversed";
     case PlantedBug::CzDropped: return "cz-dropped";
     case PlantedBug::CczWrongPair: return "ccz-wrong-pair";
+    case PlantedBug::FrameCnotSwapped: return "frame-cnot-swapped";
   }
   return "?";
 }
@@ -36,6 +39,7 @@ PlantedBug bug_from_string(const std::string& name) {
   if (name == "cnot-reversed") return PlantedBug::CnotReversed;
   if (name == "cz-dropped") return PlantedBug::CzDropped;
   if (name == "ccz-wrong-pair") return PlantedBug::CczWrongPair;
+  if (name == "frame-cnot-swapped") return PlantedBug::FrameCnotSwapped;
   throw ContractViolation("unknown planted bug: " + name);
 }
 
@@ -384,6 +388,70 @@ OracleResult check_relabel(const Circuit& c, std::uint64_t seed,
   });
 }
 
+// --- frame-vs-trial ---------------------------------------------------------
+
+OracleResult check_frame_vs_trial(const Circuit& c, std::uint64_t seed,
+                                  PlantedBug bug, double tol) {
+  return guard([&]() -> OracleResult {
+    const std::size_t n = c.num_qubits();
+    constexpr unsigned kLanes = 32;
+    // Strong enough noise that most lanes carry a non-trivial frame.
+    const auto model = noise::NoiseModel::paper_model(0.05);
+
+    // Empty prep: the reference pass starts from |0...0> and every fault
+    // site lives in the gadget (= the fuzzed circuit).
+    frame::FrameProgram prog(n, Circuit(n), c, derive_stream_seed(seed, 0));
+    if (bug == PlantedBug::FrameCnotSwapped)
+      prog.set_planted_bug(frame::FrameBug::CnotSwapped);
+    frame::FrameBatch batch(prog);
+    try {
+      batch.run_stochastic(model, seed, 0, kLanes);
+    } catch (const frame::FrameUnsupported&) {
+      return {};  // not frame-simulable for these trials: vacuously consistent
+    }
+
+    const PlantedBug tab_bug =
+        bug == PlantedBug::FrameCnotSwapped ? PlantedBug::None : bug;
+    const auto& ref_tab = prog.reference_tableau();
+    for (unsigned l = 0; l < kLanes; ++l) {
+      const std::string lane = "lane " + std::to_string(l);
+      // The canonical per-trial Monte-Carlo execution for trial index l.
+      Rng trial_rng(derive_stream_seed(seed, l));
+      BuggyTabBackend backend(n, trial_rng.split(), tab_bug);
+      noise::StochasticInjector injector(model, trial_rng.split());
+      const auto r = circuit::execute(c, backend, &injector);
+
+      if (r.cbits != batch.lane_cbits(l))
+        return {false, lane + ": measurement records differ"};
+
+      // The frame engine must leave the lane's backend stream exactly where
+      // the per-trial driver would (failure predicates keep drawing from it).
+      Rng lane_rng = batch.lane_backend_rng(l);
+      Rng tab_rng = backend.rng();
+      for (int k = 0; k < 4; ++k)
+        if (lane_rng() != tab_rng())
+          return {false, lane + ": backend rng streams diverge"};
+
+      // Lane state = frame * reference, so <P> = +-<P>_ref with the sign
+      // given by (anti)commutation of the lane frame with P.
+      const auto f = batch.lane_frame(l);
+      Rng prng(derive_stream_seed(seed, 4096 + l));
+      for (std::size_t i = 0; i < n + 4; ++i) {
+        const auto p = i < n ? PauliString::single(n, i, pauli::Pauli::Z)
+                             : PauliString::random(n, prng);
+        if (p.is_identity()) continue;
+        const double want =
+            (f.commutes_with(p) ? 1.0 : -1.0) * ref_tab.expectation_pauli(p);
+        const double got = backend.tableau().expectation_pauli(p);
+        if (std::abs(want - got) > tol)
+          return {false, lane + ": <" + p.to_string() + "> frame " +
+                             fmt(want) + " vs trial " + fmt(got)};
+      }
+    }
+    return {};
+  });
+}
+
 OracleResult run_named_oracle(const std::string& name, const Circuit& c,
                               std::uint64_t seed, double tol, PlantedBug bug) {
   if (name == "differential")
@@ -404,6 +472,7 @@ OracleResult run_named_oracle(const std::string& name, const Circuit& c,
     return check_relabel(c, seed, sv_factory(), tol);
   if (name == "relabel-tab")
     return check_relabel(c, seed, tab_factory(bug), tol);
+  if (name == "frame-vs-trial") return check_frame_vs_trial(c, seed, bug, tol);
   throw ContractViolation("unknown oracle: " + name);
 }
 

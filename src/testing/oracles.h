@@ -60,6 +60,9 @@ enum class PlantedBug {
   CnotReversed,  ///< cnot(c,t) applies cnot(t,c)
   CzDropped,     ///< cz() is silently skipped
   CczWrongPair,  ///< ccz lowering applies CZ to a pair including the control
+  /// Frame-engine defect: CNOT frame propagation with control and target
+  /// swapped (exercised by the frame-vs-trial oracle only).
+  FrameCnotSwapped,
 };
 
 const char* to_string(PlantedBug bug);
@@ -130,11 +133,27 @@ OracleResult check_schedule_reorder(const circuit::Circuit& c,
 OracleResult check_relabel(const circuit::Circuit& c, std::uint64_t seed,
                            const BackendFactory& factory, double tol = 1e-7);
 
+/// Frame-vs-trial differential: runs 32 stochastic-noise Monte-Carlo trials
+/// of `c` (empty prep, paper noise channel) once through the 64-lane batch
+/// Pauli-frame engine and once through the canonical per-trial TabBackend
+/// loop on identical counter-split RNG streams, then compares per lane:
+/// the measurement record exactly, the post-run backend RNG stream exactly,
+/// and stabilizer expectations of Z_q plus seeded random Paulis (the lane
+/// state is frame * reference, so the expected value is the reference
+/// expectation signed by frame (anti)commutation).  A FrameUnsupported
+/// batch — a deviation the frame model cannot absorb — is a vacuous pass.
+/// `bug` decorates the per-trial side for TabBackend defects and the frame
+/// program for PlantedBug::FrameCnotSwapped.
+OracleResult check_frame_vs_trial(const circuit::Circuit& c,
+                                  std::uint64_t seed, PlantedBug bug,
+                                  double tol = 1e-7);
+
 /// Runs the oracle registered under `name` ("differential",
 /// "append-inverse-sv", "append-inverse-tab", "pauli-frame-sv",
 /// "pauli-frame-tab", "schedule-reorder-sv", "schedule-reorder-tab",
-/// "relabel-sv", "relabel-tab").  `bug` decorates the tableau side only.
-/// Throws on an unknown name.
+/// "relabel-sv", "relabel-tab", "frame-vs-trial").  `bug` decorates the
+/// tableau side (and, for frame-vs-trial, the frame program).  Throws on
+/// an unknown name.
 OracleResult run_named_oracle(const std::string& name,
                               const circuit::Circuit& c, std::uint64_t seed,
                               double tol, PlantedBug bug = PlantedBug::None);

@@ -259,7 +259,8 @@ TEST(FuzzEndToEnd, FindsAndShrinksPlantedBug) {
 }
 
 TEST(FuzzEndToEnd, HealthyBackendsProduceNoFailures) {
-  for (auto gs : {GateSet::Clifford, GateSet::CliffordCC, GateSet::CliffordT}) {
+  for (auto gs : {GateSet::Clifford, GateSet::CliffordCC, GateSet::CliffordT,
+                  GateSet::Frames}) {
     FuzzConfig cfg;
     cfg.gate_set = gs;
     cfg.trials = 5;
@@ -297,6 +298,9 @@ TEST(FuzzEndToEnd, AllPlantedBugsAreDetected) {
       {PlantedBug::CnotReversed, GateSet::Clifford},
       {PlantedBug::CzDropped, GateSet::Clifford},
       {PlantedBug::CczWrongPair, GateSet::CliffordCC},
+      // The frame-vs-trial oracle must catch a defective frame engine
+      // (fuzzing the frame fuzzer).
+      {PlantedBug::FrameCnotSwapped, GateSet::Frames},
   };
   for (const auto& tc : cases) {
     FuzzConfig cfg;

@@ -5,7 +5,9 @@
 //   eqc_fuzz [options]
 //
 // Options:
-//   --gateset G       clifford | clifford-cc | clifford-t  (default clifford)
+//   --gateset G       clifford | clifford-cc | clifford-t | frames
+//                     (default clifford; frames runs the frame-vs-trial
+//                     differential oracle against the batch frame engine)
 //   --qubits N        register width (default 5)
 //   --depth D         op-slot budget per generated circuit (default 40)
 //   --seed S          master seed (default 1)
@@ -18,8 +20,9 @@
 //   --tol T           comparison tolerance (default 1e-7)
 //   --no-shrink       skip delta-debugging of failing circuits
 //   --plant-bug B     none | s-inverted | cnot-reversed | cz-dropped |
-//                     ccz-wrong-pair — deliberately defective tableau
-//                     backend (harness self-test)
+//                     ccz-wrong-pair | frame-cnot-swapped — deliberately
+//                     defective tableau backend or frame engine (harness
+//                     self-test)
 //   --json OUT        write the full JSON report to OUT
 //   --corpus DIR      write one JSON artifact + regression snippet per
 //                     failure into DIR (must exist)
@@ -79,7 +82,7 @@ struct Options {
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: eqc_fuzz [--gateset clifford|clifford-cc|clifford-t]\n"
+      "usage: eqc_fuzz [--gateset clifford|clifford-cc|clifford-t|frames]\n"
       "       [--qubits N] [--depth D] [--seed S] [--trials T] [--jobs N]\n"
       "       [--time-budget SEC] [--measure-prob P] [--tol T] [--no-shrink]\n"
       "       [--plant-bug B] [--checkpoint FILE] [--resume]\n"
